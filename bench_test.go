@@ -1,0 +1,308 @@
+// Benchmark harness: one benchmark per figure of the paper plus one
+// per extension experiment (see DESIGN.md §5 and EXPERIMENTS.md).
+//
+// These are *reproduction* benchmarks: beyond ns/op they report the
+// experiment's headline quantities via b.ReportMetric, so
+// `go test -bench=. -benchmem` regenerates the evaluation in one
+// command:
+//
+//	Figure 1  -> utility trough/gap metrics (equalization quality)
+//	Figure 2  -> demand/allocation metrics (uneven split, full usage)
+//	E4        -> gold vs silver stretch (service differentiation)
+//	E5        -> per-controller max-min utility (baseline comparison)
+//	E6        -> placement-controller planning cost vs cluster size
+//	E7        -> migrations with/without churn-awareness
+package slaplace_test
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"slaplace"
+
+	"slaplace/internal/cluster"
+	"slaplace/internal/core"
+	"slaplace/internal/queueing"
+	"slaplace/internal/res"
+	"slaplace/internal/utility"
+	"slaplace/internal/workload/batch"
+)
+
+// runOnce executes a scenario once per benchmark iteration.
+func runOnce(b *testing.B, sc slaplace.Scenario) *slaplace.Result {
+	b.Helper()
+	r, err := slaplace.Run(sc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return r
+}
+
+// seriesMin returns a series minimum over [t0, t1].
+func seriesMin(r *slaplace.Result, name string, t0, t1 float64) float64 {
+	min := math.Inf(1)
+	for _, p := range r.Recorder.Series(name).Window(t0, t1) {
+		min = math.Min(min, p.V)
+	}
+	return min
+}
+
+// BenchmarkFigure1_UtilityEqualization regenerates the paper's
+// Figure 1 (actual transactional utility vs mean hypothetical
+// long-running utility over time) and reports its shape metrics:
+// the utility troughs and the mean gap between the two curves during
+// contention — the equalization the paper demonstrates.
+func BenchmarkFigure1_UtilityEqualization(b *testing.B) {
+	var r *slaplace.Result
+	for i := 0; i < b.N; i++ {
+		r = runOnce(b, slaplace.PaperScenario(42))
+	}
+	webU := r.Recorder.Series("trans/web/utility")
+	jobU := r.Recorder.Series("jobs/hypoUtility")
+	var gap float64
+	var n int
+	for _, p := range webU.Window(25000, 55000) {
+		if jv, ok := jobU.ValueAt(p.T); ok {
+			gap += math.Abs(p.V - jv)
+			n++
+		}
+	}
+	b.ReportMetric(webU.MeanOver(1200, 6000), "webU-early")
+	b.ReportMetric(seriesMin(r, "trans/web/utility", 30000, 66000), "webU-trough")
+	b.ReportMetric(seriesMin(r, "jobs/hypoUtility", 30000, 66000), "jobU-trough")
+	b.ReportMetric(gap/float64(n), "utility-gap")
+	b.ReportMetric(webU.MeanOver(66000, 72000), "webU-end")
+}
+
+// BenchmarkFigure2_AllocationTracksDemand regenerates Figure 2 (CPU
+// power demanded vs allocated per workload) and reports: the constant
+// transactional demand, the job-demand peak, and the peak share of
+// cluster capacity the jobs reach — the "uneven distribution of
+// resources" the paper highlights.
+func BenchmarkFigure2_AllocationTracksDemand(b *testing.B) {
+	var r *slaplace.Result
+	for i := 0; i < b.N; i++ {
+		r = runOnce(b, slaplace.PaperScenario(42))
+	}
+	capacity := 25.0 * 18000
+	jobDemandPeak, jobAllocPeak := 0.0, 0.0
+	for _, p := range r.Recorder.Series("jobs/demand").Points() {
+		jobDemandPeak = math.Max(jobDemandPeak, p.V)
+	}
+	for _, p := range r.Recorder.Series("jobs/alloc").Points() {
+		jobAllocPeak = math.Max(jobAllocPeak, p.V)
+	}
+	webDemand, _ := r.Recorder.Series("trans/web/demand").Last()
+	webAllocMin := seriesMin(r, "trans/web/alloc", 1200, 72000)
+	b.ReportMetric(webDemand.V/1000, "webDemand-GHz")
+	b.ReportMetric(webAllocMin/1000, "webAllocMin-GHz")
+	b.ReportMetric(jobDemandPeak/1000, "jobDemandPeak-GHz")
+	b.ReportMetric(jobAllocPeak/capacity*100, "jobAllocPeak-pct")
+}
+
+// BenchmarkDiffServ regenerates E4 (service differentiation): equal
+// work, different goals; gold must finish with lower stretch.
+func BenchmarkDiffServ(b *testing.B) {
+	var r *slaplace.Result
+	for i := 0; i < b.N; i++ {
+		r = runOnce(b, slaplace.DiffServScenario(42))
+	}
+	gold := r.ClassStats["gold"]
+	silver := r.ClassStats["silver"]
+	b.ReportMetric(gold.MeanStretch, "gold-stretch")
+	b.ReportMetric(silver.MeanStretch, "silver-stretch")
+	b.ReportMetric(float64(gold.GoalViolations+silver.GoalViolations), "violations")
+}
+
+// BenchmarkBaselines regenerates E5: the same workload trace under the
+// utility controller and each baseline, reporting the max-min utility
+// each policy sustains.
+func BenchmarkBaselines(b *testing.B) {
+	cases := []struct {
+		name string
+		ctrl slaplace.Controller
+	}{
+		{"utility", slaplace.NewController(slaplace.DefaultControllerConfig())},
+		{"fcfs", slaplace.FCFS},
+		{"edf", slaplace.EDF},
+		{"fairshare", slaplace.FairShare},
+		{"static60", slaplace.StaticPartition(0.6)},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			var r *slaplace.Result
+			for i := 0; i < b.N; i++ {
+				r = runOnce(b, slaplace.BaselineScenario(42, c.ctrl))
+			}
+			minU := math.Min(
+				seriesMin(r, "trans/web/utility", 1200, 36000),
+				seriesMin(r, "jobs/hypoUtility", 1200, 36000))
+			b.ReportMetric(minU, "maxmin-utility")
+			b.ReportMetric(float64(r.JobStats.Completed), "completed")
+			b.ReportMetric(float64(r.JobStats.GoalViolations), "violations")
+		})
+	}
+}
+
+// BenchmarkChurnAblation regenerates E7: churn-aware vs churn-oblivious
+// placement on identical traces; reports migration counts and job
+// outcomes.
+func BenchmarkChurnAblation(b *testing.B) {
+	for _, aware := range []bool{true, false} {
+		name := "aware"
+		if !aware {
+			name = "oblivious"
+		}
+		b.Run(name, func(b *testing.B) {
+			var r *slaplace.Result
+			for i := 0; i < b.N; i++ {
+				r = runOnce(b, slaplace.ChurnScenario(42, aware))
+			}
+			b.ReportMetric(float64(r.VMCounters.Migrations), "migrations")
+			b.ReportMetric(float64(r.VMCounters.Suspends), "suspends")
+			b.ReportMetric(r.ClassStats["batch"].MeanCompletionUtility, "completionU")
+		})
+	}
+}
+
+// BenchmarkFailureRecovery regenerates the failure-injection run:
+// node failures mid-run with checkpoint/replacement recovery.
+func BenchmarkFailureRecovery(b *testing.B) {
+	var r *slaplace.Result
+	for i := 0; i < b.N; i++ {
+		r = runOnce(b, slaplace.FailureScenario(42))
+	}
+	b.ReportMetric(float64(r.VMCounters.Evictions), "evictions")
+	b.ReportMetric(float64(r.JobStats.Completed), "completed")
+}
+
+// BenchmarkSpike regenerates the load-spike experiment: how fast and
+// how completely the controller re-allocates around a 3x transactional
+// surge.
+func BenchmarkSpike(b *testing.B) {
+	var r *slaplace.Result
+	for i := 0; i < b.N; i++ {
+		r = runOnce(b, slaplace.SpikeScenario(42))
+	}
+	webAlloc := r.Recorder.Series("trans/web/alloc")
+	pre := webAlloc.MeanOver(9000, 18000)
+	in := webAlloc.MeanOver(20400, 25200)
+	post := webAlloc.MeanOver(30000, 36000)
+	b.ReportMetric(in/pre, "spike-alloc-ratio")
+	b.ReportMetric(post/pre, "recovery-ratio")
+	b.ReportMetric(float64(r.JobStats.Completed), "completed")
+}
+
+// BenchmarkMultiApp regenerates the three-SLA fairness experiment:
+// identical traffic, SLA-ordered CPU allocations, all apps healthy.
+func BenchmarkMultiApp(b *testing.B) {
+	var r *slaplace.Result
+	for i := 0; i < b.N; i++ {
+		r = runOnce(b, slaplace.MultiAppScenario(42))
+	}
+	alloc := func(id string) float64 {
+		return r.Recorder.Series("trans/"+id+"/alloc").MeanOver(12000, 36000)
+	}
+	b.ReportMetric(alloc("gold-web")/1000, "goldAlloc-GHz")
+	b.ReportMetric(alloc("silver-web")/1000, "silverAlloc-GHz")
+	b.ReportMetric(alloc("bronze-web")/1000, "bronzeAlloc-GHz")
+}
+
+// BenchmarkPlacementScale is E6: the placement controller's planning
+// cost per control cycle as the cluster and job population grow. The
+// paper's controller must run every 600 s; planning cost is what
+// bounds its applicability.
+func BenchmarkPlacementScale(b *testing.B) {
+	model, err := queueing.NewMG1PS(1350, 4500)
+	if err != nil {
+		b.Fatal(err)
+	}
+	shapes := []struct{ nodes, jobs int }{
+		{10, 30}, {25, 100}, {50, 300}, {100, 800}, {200, 2000},
+	}
+	for _, sh := range shapes {
+		b.Run(fmt.Sprintf("nodes=%d/jobs=%d", sh.nodes, sh.jobs), func(b *testing.B) {
+			st := syntheticState(sh.nodes, sh.jobs, model)
+			ctrl := core.New(core.DefaultConfig())
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				plan := ctrl.Plan(st)
+				if plan == nil {
+					b.Fatal("nil plan")
+				}
+			}
+		})
+	}
+}
+
+// syntheticState builds a half-loaded cluster snapshot for planning
+// benchmarks: half the jobs running, half queued.
+func syntheticState(nodes, jobs int, model queueing.MG1PS) *core.State {
+	st := &core.State{Now: 50000}
+	for i := 0; i < nodes; i++ {
+		st.Nodes = append(st.Nodes, core.NodeInfo{
+			ID:  cluster.NodeID(fmt.Sprintf("n%03d", i)),
+			CPU: 18000,
+			Mem: 16000,
+		})
+	}
+	running := 0
+	for i := 0; i < jobs; i++ {
+		info := core.JobInfo{
+			ID:        batch.JobID(fmt.Sprintf("j%04d", i)),
+			State:     batch.Pending,
+			Remaining: res.Work(4500 * float64(5000+i%20000)),
+			MaxSpeed:  4500,
+			Mem:       5000,
+			Goal:      60000 + float64(i%40000),
+			Submitted: float64(i),
+		}
+		if running < nodes*2 && i%2 == 0 {
+			info.State = batch.Running
+			info.Node = st.Nodes[running%nodes].ID
+			info.Share = 4500
+			running++
+		}
+		st.Jobs = append(st.Jobs, info)
+	}
+	st.Apps = []core.AppInfo{{
+		ID: "web", Lambda: 65, RTGoal: 3.0, Model: model,
+		InstanceMem: 1000, MaxPerInstance: 18000, MinInstances: nodes,
+		Instances: map[cluster.NodeID]res.CPU{},
+	}}
+	return st
+}
+
+// BenchmarkEqualizer measures the hypothetical-utility waterfill alone
+// across population sizes — the inner loop of every control cycle.
+func BenchmarkEqualizer(b *testing.B) {
+	for _, n := range []int{10, 100, 1000} {
+		b.Run(fmt.Sprintf("curves=%d", n), func(b *testing.B) {
+			curves := make([]utility.Curve, n)
+			for i := range curves {
+				curves[i] = utility.NewJobCurve(fmt.Sprintf("j%d", i), 0,
+					res.Work(4500*float64(1000+i)), 4500, float64(3000+i*7), nil)
+			}
+			capacity := res.CPU(float64(n) * 2000)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r := utility.Equalize(curves, capacity)
+				if r.Allocated <= 0 {
+					b.Fatal("no allocation")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFullPaperRun measures the complete Figure 1/2 simulation —
+// 120 control cycles over 72 000 simulated seconds — as one unit.
+func BenchmarkFullPaperRun(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := runOnce(b, slaplace.PaperScenario(uint64(42)))
+		if r.JobStats.Completed == 0 {
+			b.Fatal("no completions")
+		}
+	}
+}

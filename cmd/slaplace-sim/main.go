@@ -1,0 +1,179 @@
+// Command slaplace-sim runs one scenario of the heterogeneous-workload
+// placement simulator and reports the outcome.
+//
+// Usage:
+//
+//	slaplace-sim [flags]
+//
+//	-scenario name   paper | diffserv | churn-aware | churn-oblivious |
+//	                 failure | spike | multiapp | quick (default "quick")
+//	-config path     load the scenario from a JSON file instead
+//	-job-trace path  replay a CSV job trace (replaces the scenario's
+//	                 synthetic job streams)
+//	-controller name utility | fcfs | edf | fairshare | static
+//	                 (default "utility"; overrides the scenario's choice)
+//	-static-frac f   batch node fraction for the static controller
+//	-seed n          RNG seed (default 42)
+//	-horizon s       override the scenario horizon in seconds
+//	-csv path        write all recorded series as long-format CSV
+//	-series          print summary statistics for every recorded series
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"slaplace"
+
+	"slaplace/internal/experiments"
+	"slaplace/internal/trace"
+)
+
+func main() {
+	var (
+		scenarioName = flag.String("scenario", "quick", "scenario to run")
+		configPath   = flag.String("config", "", "load scenario from JSON file")
+		jobTrace     = flag.String("job-trace", "", "replay a CSV job trace")
+		ctrlName     = flag.String("controller", "utility", "placement controller")
+		staticFrac   = flag.Float64("static-frac", 0.6, "batch fraction for -controller static")
+		seed         = flag.Uint64("seed", 42, "RNG seed")
+		horizon      = flag.Float64("horizon", 0, "override horizon (seconds)")
+		csvPath      = flag.String("csv", "", "write recorded series as CSV")
+		jobsCSV      = flag.String("jobs-csv", "", "write per-job outcomes as CSV")
+		series       = flag.Bool("series", false, "print per-series summaries")
+	)
+	flag.Parse()
+
+	sc, err := buildScenario(*scenarioName, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "slaplace-sim:", err)
+		os.Exit(2)
+	}
+	if *configPath != "" {
+		f, err := os.Open(*configPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "slaplace-sim:", err)
+			os.Exit(2)
+		}
+		sc, err = experiments.LoadScenario(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "slaplace-sim:", err)
+			os.Exit(2)
+		}
+	}
+	if *jobTrace != "" {
+		f, err := os.Open(*jobTrace)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "slaplace-sim:", err)
+			os.Exit(2)
+		}
+		recs, err := trace.ReadJobs(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "slaplace-sim:", err)
+			os.Exit(2)
+		}
+		sc.Jobs = nil
+		sc.JobTrace = recs
+		sc.TraceBase = experiments.PaperJobClass()
+	}
+	if ctrl, err := buildController(*ctrlName, *staticFrac); err != nil {
+		fmt.Fprintln(os.Stderr, "slaplace-sim:", err)
+		os.Exit(2)
+	} else if ctrl != nil {
+		sc.Controller = ctrl
+	}
+	if *horizon > 0 {
+		sc.Horizon = *horizon
+	}
+
+	result, err := slaplace.Run(sc)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "slaplace-sim:", err)
+		os.Exit(1)
+	}
+	fmt.Println(slaplace.Summarize(result))
+	for name, cs := range result.ClassStats {
+		fmt.Printf("  class %-10s completed=%4d violations=%3d meanUtility=%.3f meanStretch=%.2f\n",
+			name, cs.Completed, cs.GoalViolations, cs.MeanCompletionUtility, cs.MeanStretch)
+	}
+
+	if *series {
+		for _, name := range result.Recorder.SeriesNames() {
+			s := result.Recorder.Series(name).Summarize()
+			fmt.Printf("  series %-28s n=%4d mean=%12.3f min=%12.3f max=%12.3f last=%12.3f\n",
+				name, s.N, s.Mean, s.Min, s.Max, s.Last)
+		}
+	}
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "slaplace-sim:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := result.Recorder.WriteLongCSV(f); err != nil {
+			fmt.Fprintln(os.Stderr, "slaplace-sim:", err)
+			os.Exit(1)
+		}
+		fmt.Println("wrote", *csvPath)
+	}
+	if *jobsCSV != "" {
+		f, err := os.Create(*jobsCSV)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "slaplace-sim:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := experiments.WriteJobOutcomes(f, result.JobOutcomes); err != nil {
+			fmt.Fprintln(os.Stderr, "slaplace-sim:", err)
+			os.Exit(1)
+		}
+		fmt.Println("wrote", *jobsCSV)
+	}
+}
+
+// buildScenario maps a name to a canned scenario.
+func buildScenario(name string, seed uint64) (slaplace.Scenario, error) {
+	switch name {
+	case "paper":
+		return slaplace.PaperScenario(seed), nil
+	case "diffserv":
+		return slaplace.DiffServScenario(seed), nil
+	case "churn-aware":
+		return slaplace.ChurnScenario(seed, true), nil
+	case "churn-oblivious":
+		return slaplace.ChurnScenario(seed, false), nil
+	case "failure":
+		return slaplace.FailureScenario(seed), nil
+	case "spike":
+		return slaplace.SpikeScenario(seed), nil
+	case "multiapp":
+		return slaplace.MultiAppScenario(seed), nil
+	case "quick":
+		return slaplace.QuickScenario(seed), nil
+	default:
+		return slaplace.Scenario{}, fmt.Errorf("unknown scenario %q", name)
+	}
+}
+
+// buildController maps a name to a controller; "utility" returns nil to
+// keep the scenario's own (already utility-driven) controller.
+func buildController(name string, staticFrac float64) (slaplace.Controller, error) {
+	switch name {
+	case "utility", "":
+		return nil, nil
+	case "fcfs":
+		return slaplace.FCFS, nil
+	case "edf":
+		return slaplace.EDF, nil
+	case "fairshare":
+		return slaplace.FairShare, nil
+	case "static":
+		return slaplace.StaticPartition(staticFrac), nil
+	default:
+		return nil, fmt.Errorf("unknown controller %q", name)
+	}
+}

@@ -1,0 +1,68 @@
+// Command slaplace-sweep runs the sensitivity studies: control-cycle
+// period, utility-function shape, and transactional-load scaling —
+// each over the shortened paper workload with identical traces.
+//
+//	slaplace-sweep [-sweep cycle|utility|load|all] [-seed n]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"slaplace/internal/experiments"
+)
+
+func main() {
+	var (
+		which = flag.String("sweep", "all", "cycle | utility | load | margin | all")
+		seed  = flag.Uint64("seed", 42, "RNG seed")
+	)
+	flag.Parse()
+
+	run := func(name string, f func() ([]experiments.SweepPoint, error)) {
+		fmt.Printf("== %s sweep (seed %d) ==\n", name, *seed)
+		points, err := f()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "slaplace-sweep:", err)
+			os.Exit(1)
+		}
+		fmt.Print(experiments.FormatSweep(points))
+		fmt.Println()
+	}
+
+	switch *which {
+	case "cycle":
+		run("control-cycle", func() ([]experiments.SweepPoint, error) {
+			return experiments.CycleSweep(*seed, nil)
+		})
+	case "utility":
+		run("utility-function", func() ([]experiments.SweepPoint, error) {
+			return experiments.UtilityFnSweep(*seed)
+		})
+	case "load":
+		run("transactional-load", func() ([]experiments.SweepPoint, error) {
+			return experiments.LoadSweep(*seed, nil)
+		})
+	case "margin":
+		run("eviction-margin", func() ([]experiments.SweepPoint, error) {
+			return experiments.EvictionMarginSweep(*seed, nil)
+		})
+	case "all":
+		run("control-cycle", func() ([]experiments.SweepPoint, error) {
+			return experiments.CycleSweep(*seed, nil)
+		})
+		run("utility-function", func() ([]experiments.SweepPoint, error) {
+			return experiments.UtilityFnSweep(*seed)
+		})
+		run("transactional-load", func() ([]experiments.SweepPoint, error) {
+			return experiments.LoadSweep(*seed, nil)
+		})
+		run("eviction-margin", func() ([]experiments.SweepPoint, error) {
+			return experiments.EvictionMarginSweep(*seed, nil)
+		})
+	default:
+		fmt.Fprintf(os.Stderr, "slaplace-sweep: unknown sweep %q\n", *which)
+		os.Exit(2)
+	}
+}

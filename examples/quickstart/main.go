@@ -1,0 +1,48 @@
+// Quickstart: build a small mixed cluster, run it for two simulated
+// hours under the utility-driven placement controller, and print what
+// happened.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"slaplace"
+)
+
+func main() {
+	// A ready-made small scenario: 4 nodes, one web application, a
+	// stream of ~20 batch jobs, 300-second control cycles.
+	scenario := slaplace.QuickScenario(42)
+
+	result, err := slaplace.Run(scenario)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println(slaplace.Summarize(result))
+	fmt.Println()
+
+	// Per-class job outcomes: completions, SLA violations, and the
+	// utility of each completion (1 = finished as fast as physically
+	// possible, 0 = exactly on goal, negative = late).
+	for name, cs := range result.ClassStats {
+		fmt.Printf("class %-8s completed=%d violations=%d meanUtility=%.3f meanStretch=%.2f\n",
+			name, cs.Completed, cs.GoalViolations, cs.MeanCompletionUtility, cs.MeanStretch)
+	}
+	fmt.Println()
+
+	// The two utility curves the controller equalizes: the web
+	// application's measured utility and the jobs' mean hypothetical
+	// utility.
+	series := []*slaplace.Series{
+		result.Recorder.Series("trans/web/utility").Slice(300, 1e18),
+		result.Recorder.Series("jobs/hypoUtility").Slice(300, 1e18),
+	}
+	if err := slaplace.RenderASCII(os.Stdout, "utility over time", series, 72, 14); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,280 @@
+// Package baseline implements the comparison policies the benchmarks
+// pit against the paper's utility-driven placement controller:
+//
+//   - Static: a fixed node partition between web and batch, the
+//     approach of the Solaris Resource Manager consolidation study the
+//     paper cites as prior art ([6]) — no dynamic trade-off at all.
+//   - FCFS: shared nodes, jobs placed in arrival order at full speed,
+//     never suspended or migrated; the web tier gets a fixed
+//     demand-based reservation.
+//   - EDF: like FCFS but ordered by completion-time goal with
+//     preemption (earliest deadline first) — deadline-aware yet
+//     utility-blind, so it cannot trade job lateness against web SLA.
+//   - FairShare: capacity divided equally per workload entity,
+//     ignoring utility curves entirely.
+//
+// All baselines implement core.Controller and run on exactly the same
+// substrate, monitoring and actuation paths as the real controller.
+package baseline
+
+import (
+	"math"
+	"sort"
+
+	"slaplace/internal/cluster"
+	"slaplace/internal/core"
+	"slaplace/internal/res"
+	"slaplace/internal/workload/batch"
+	"slaplace/internal/workload/trans"
+)
+
+// nodePlan tracks planned occupancy during a baseline planning pass.
+type nodePlan struct {
+	info     core.NodeInfo
+	memUsed  res.Memory
+	cpuUsed  res.CPU
+	jobCount int
+}
+
+func (n *nodePlan) freeMem() res.Memory { return n.info.Mem - n.memUsed }
+func (n *nodePlan) freeCPU() res.CPU    { return n.info.CPU - n.cpuUsed }
+
+// buildPlans seeds planning records for a node subset.
+func buildPlans(nodes []core.NodeInfo) (map[cluster.NodeID]*nodePlan, []cluster.NodeID) {
+	plans := make(map[cluster.NodeID]*nodePlan, len(nodes))
+	order := make([]cluster.NodeID, 0, len(nodes))
+	for _, n := range nodes {
+		plans[n.ID] = &nodePlan{info: n}
+		order = append(order, n.ID)
+	}
+	return plans, order
+}
+
+// seedRunning accounts the memory of already-running jobs hosted on the
+// subset's nodes. Every baseline must call this before reserving web
+// capacity or placing jobs, or it will plan into occupied memory.
+func seedRunning(st *core.State, plans map[cluster.NodeID]*nodePlan) {
+	for i := range st.Jobs {
+		j := &st.Jobs[i]
+		if j.State != batch.Running {
+			continue
+		}
+		if p, ok := plans[j.Node]; ok {
+			p.memUsed += j.Mem
+			p.jobCount++
+		}
+	}
+}
+
+// reserveWeb places instances of every app across the given nodes and
+// reserves share = min(app max-useful demand, spread across nodes). It
+// emits instance actions onto the plan. Baselines keep web handling
+// identical (fixed, demand-driven) so the differences under test are
+// the job policies and the absence of utility trade-off.
+func reserveWeb(st *core.State, plan *core.Plan, plans map[cluster.NodeID]*nodePlan, order []cluster.NodeID) {
+	for ai := range st.Apps {
+		app := &st.Apps[ai]
+		demand := app.Curve().MaxUseful()
+		plan.AppDemand[app.ID] = demand
+
+		// Desired count, like the core controller's sizing rule.
+		needed := 1
+		if app.MaxPerInstance > 0 {
+			needed = int(math.Ceil(float64(demand) / float64(app.MaxPerInstance)))
+		}
+		if needed < app.MinInstances {
+			needed = app.MinInstances
+		}
+		if app.MaxInstances > 0 && needed > app.MaxInstances {
+			needed = app.MaxInstances
+		}
+		if needed > len(order) {
+			needed = len(order)
+		}
+		if needed < 1 {
+			needed = 1
+		}
+
+		// Keep existing instances on nodes in this partition.
+		kept := make([]cluster.NodeID, 0, needed)
+		for _, n := range app.InstanceNodes() {
+			if _, ok := plans[n]; !ok {
+				continue
+			}
+			if len(kept) < needed {
+				kept = append(kept, n)
+			} else {
+				plan.Actions = append(plan.Actions, core.RemoveInstance{App: app.ID, Node: n})
+			}
+		}
+		for _, n := range kept {
+			plans[n].memUsed += app.InstanceMem
+		}
+		if len(kept) < needed {
+			has := map[cluster.NodeID]bool{}
+			for _, n := range kept {
+				has[n] = true
+			}
+			for _, n := range order {
+				if len(kept) >= needed {
+					break
+				}
+				if has[n] || plans[n].freeMem() < app.InstanceMem {
+					continue
+				}
+				kept = append(kept, n)
+				plans[n].memUsed += app.InstanceMem
+				plan.Actions = append(plan.Actions, core.AddInstance{App: app.ID, Node: n})
+			}
+		}
+		if len(kept) == 0 {
+			continue
+		}
+		per := res.Min(demand/res.CPU(len(kept)), app.MaxPerInstance)
+		for _, n := range kept {
+			share := res.Min(per, plans[n].freeCPU())
+			plans[n].cpuUsed += share
+			plan.AppTarget[app.ID] += share
+		}
+		// Emit share adjustments / fill in AddInstance shares.
+		for i, a := range plan.Actions {
+			if add, ok := a.(core.AddInstance); ok && add.App == app.ID && add.Share == 0 {
+				add.Share = per
+				plan.Actions[i] = add
+			}
+		}
+		for _, n := range kept {
+			cur, had := app.Instances[n]
+			if had && math.Abs(float64(cur-per)) > 0.02*float64(app.MaxPerInstance) {
+				plan.Actions = append(plan.Actions, core.SetInstanceShare{App: app.ID, Node: n, Share: per})
+			}
+		}
+		plan.AppPrediction[app.ID] = app.Curve().UtilityAt(plan.AppTarget[app.ID])
+	}
+}
+
+// recordJobDiagnostics fills the hypothetical-utility fields so the
+// figure harness can plot baselines on the same axes.
+func recordJobDiagnostics(st *core.State, plan *core.Plan, jobShare map[batch.JobID]res.CPU) {
+	var utilSum float64
+	classSum := map[string]float64{}
+	classN := map[string]int{}
+	for i := range st.Jobs {
+		j := &st.Jobs[i]
+		curve := j.Curve(st.Now)
+		plan.JobDemand += curve.MaxUseful()
+		share := jobShare[j.ID]
+		u := curve.UtilityAt(share)
+		utilSum += u
+		classSum[j.Class] += u
+		classN[j.Class]++
+		plan.JobTarget += share
+	}
+	if len(st.Jobs) > 0 {
+		plan.HypotheticalJobUtility = utilSum / float64(len(st.Jobs))
+		plan.ClassHypoUtility = make(map[string]float64, len(classSum))
+		for class, sum := range classSum {
+			plan.ClassHypoUtility[class] = sum / float64(classN[class])
+		}
+	}
+}
+
+// newPlan allocates an empty plan with its maps ready.
+func newPlan() *core.Plan {
+	return &core.Plan{
+		AppPrediction: make(map[trans.AppID]float64),
+		AppDemand:     make(map[trans.AppID]res.CPU),
+		AppTarget:     make(map[trans.AppID]res.CPU),
+	}
+}
+
+// placeFullSpeed walks jobs in the given order and places unplaced ones
+// at full speed on the emptiest feasible node of the subset. Running
+// jobs on nodes of the subset are kept. Returns each job's granted
+// share. If preempt is non-nil it may suspend running jobs to make
+// room (EDF); preempt receives the candidate and must return a victim
+// job ID or "".
+func placeFullSpeed(st *core.State, plan *core.Plan, plans map[cluster.NodeID]*nodePlan,
+	order []cluster.NodeID, jobOrder []*core.JobInfo,
+	preempt func(cand *core.JobInfo, after []*core.JobInfo) batch.JobID) map[batch.JobID]res.CPU {
+
+	shares := make(map[batch.JobID]res.CPU, len(jobOrder))
+	suspended := make(map[batch.JobID]bool)
+	// Running residency was seeded by seedRunning (callers must do so
+	// before reserveWeb to keep memory accounting truthful).
+	for idx, j := range jobOrder {
+		if suspended[j.ID] {
+			continue
+		}
+		if j.State == batch.Running {
+			if _, ok := plans[j.Node]; ok {
+				shares[j.ID] = res.Min(j.MaxSpeed, j.Share)
+				if j.Share < j.MaxSpeed {
+					// Baselines always run placed jobs at full speed.
+					plan.Actions = append(plan.Actions, core.SetJobShare{Job: j.ID, Share: j.MaxSpeed})
+					shares[j.ID] = j.MaxSpeed
+				}
+			}
+			continue
+		}
+		// Find the emptiest feasible node.
+		var best cluster.NodeID
+		bestCount := math.MaxInt
+		for _, n := range order {
+			p := plans[n]
+			if p.freeMem() < j.Mem {
+				continue
+			}
+			if p.jobCount < bestCount {
+				best, bestCount = n, p.jobCount
+			}
+		}
+		if best == "" && preempt != nil {
+			victim := preempt(j, jobOrder[idx+1:])
+			if victim != "" {
+				for _, v := range jobOrder {
+					if v.ID == victim {
+						suspended[victim] = true
+						plan.Actions = append(plan.Actions, core.SuspendJob{Job: victim})
+						p := plans[v.Node]
+						p.memUsed -= v.Mem
+						p.jobCount--
+						delete(shares, victim)
+						if p.freeMem() >= j.Mem {
+							best = v.Node
+						}
+						break
+					}
+				}
+			}
+		}
+		if best == "" {
+			continue // waits in queue
+		}
+		p := plans[best]
+		p.memUsed += j.Mem
+		p.jobCount++
+		shares[j.ID] = j.MaxSpeed
+		if j.State == batch.Pending {
+			plan.Actions = append(plan.Actions, core.StartJob{Job: j.ID, Node: best, Share: j.MaxSpeed})
+		} else {
+			plan.Actions = append(plan.Actions, core.ResumeJob{Job: j.ID, Node: best, Share: j.MaxSpeed})
+		}
+	}
+	return shares
+}
+
+// jobPtrs returns pointers to the state's jobs in submission order.
+func jobPtrs(st *core.State) []*core.JobInfo {
+	out := make([]*core.JobInfo, len(st.Jobs))
+	for i := range st.Jobs {
+		out[i] = &st.Jobs[i]
+	}
+	sort.SliceStable(out, func(a, b int) bool {
+		if out[a].Submitted != out[b].Submitted {
+			return out[a].Submitted < out[b].Submitted
+		}
+		return out[a].ID < out[b].ID
+	})
+	return out
+}

@@ -1,0 +1,228 @@
+package baseline
+
+import (
+	"fmt"
+	"sort"
+
+	"slaplace/internal/cluster"
+	"slaplace/internal/core"
+	"slaplace/internal/res"
+	"slaplace/internal/workload/batch"
+)
+
+// Static partitions the cluster: the first ⌈BatchFraction×N⌉ nodes run
+// jobs, the rest run the web tier. Neither side ever borrows from the
+// other — the static consolidation the paper improves upon.
+type Static struct {
+	// BatchFraction is the fraction of nodes dedicated to jobs,
+	// in (0, 1).
+	BatchFraction float64
+}
+
+var _ core.Controller = Static{}
+
+// Name implements core.Controller.
+func (s Static) Name() string { return fmt.Sprintf("static[batch=%.0f%%]", s.BatchFraction*100) }
+
+// Plan implements core.Controller.
+func (s Static) Plan(st *core.State) *core.Plan {
+	if s.BatchFraction <= 0 || s.BatchFraction >= 1 {
+		panic(fmt.Sprintf("baseline: Static.BatchFraction %v outside (0,1)", s.BatchFraction))
+	}
+	plan := newPlan()
+	nBatch := int(float64(len(st.Nodes))*s.BatchFraction + 0.999999)
+	if nBatch >= len(st.Nodes) && len(st.Nodes) > 1 {
+		nBatch = len(st.Nodes) - 1
+	}
+	batchNodes := st.Nodes[:nBatch]
+	webNodes := st.Nodes[nBatch:]
+
+	webPlans, webOrder := buildPlans(webNodes)
+	seedRunning(st, webPlans)
+	reserveWeb(st, plan, webPlans, webOrder)
+
+	batchPlans, batchOrder := buildPlans(batchNodes)
+	seedRunning(st, batchPlans)
+	jobs := jobPtrs(st)
+	shares := placeFullSpeed(st, plan, batchPlans, batchOrder, jobs, nil)
+	recordJobDiagnostics(st, plan, shares)
+	return plan
+}
+
+// FCFS shares every node: jobs are placed in strict arrival order at
+// full speed and never preempted; the web tier holds a demand-based
+// reservation on all nodes.
+type FCFS struct{}
+
+var _ core.Controller = FCFS{}
+
+// Name implements core.Controller.
+func (FCFS) Name() string { return "fcfs" }
+
+// Plan implements core.Controller.
+func (FCFS) Plan(st *core.State) *core.Plan {
+	plan := newPlan()
+	plans, order := buildPlans(st.Nodes)
+	seedRunning(st, plans)
+	reserveWeb(st, plan, plans, order)
+	jobs := jobPtrs(st)
+	shares := placeFullSpeed(st, plan, plans, order, jobs, nil)
+	recordJobDiagnostics(st, plan, shares)
+	return plan
+}
+
+// EDF shares every node and runs the jobs with the earliest
+// completion-time goals, preempting later-deadline jobs when memory is
+// short. Deadline-aware but utility-blind: it cannot decide when the
+// web tier should yield CPU to the batch tier or vice versa.
+type EDF struct{}
+
+var _ core.Controller = EDF{}
+
+// Name implements core.Controller.
+func (EDF) Name() string { return "edf" }
+
+// Plan implements core.Controller.
+func (EDF) Plan(st *core.State) *core.Plan {
+	plan := newPlan()
+	plans, order := buildPlans(st.Nodes)
+	seedRunning(st, plans)
+	reserveWeb(st, plan, plans, order)
+
+	jobs := jobPtrs(st)
+	sort.SliceStable(jobs, func(a, b int) bool {
+		if jobs[a].Goal != jobs[b].Goal {
+			return jobs[a].Goal < jobs[b].Goal
+		}
+		return jobs[a].ID < jobs[b].ID
+	})
+	preempt := func(cand *core.JobInfo, after []*core.JobInfo) batch.JobID {
+		// Latest-deadline running job strictly after the candidate.
+		for i := len(after) - 1; i >= 0; i-- {
+			v := after[i]
+			if v.State == batch.Running && v.Goal > cand.Goal {
+				if _, ok := plans[v.Node]; ok {
+					return v.ID
+				}
+			}
+		}
+		return ""
+	}
+	shares := placeFullSpeed(st, plan, plans, order, jobs, preempt)
+	recordJobDiagnostics(st, plan, shares)
+	return plan
+}
+
+// FairShare divides the cluster CPU equally among workload entities
+// (each web application and each incomplete job counts as one),
+// ignoring utility entirely. Jobs run (least-laxity order) as far as
+// memory allows, at the equal share rather than full speed.
+type FairShare struct{}
+
+var _ core.Controller = FairShare{}
+
+// Name implements core.Controller.
+func (FairShare) Name() string { return "fairshare" }
+
+// Plan implements core.Controller.
+func (FairShare) Plan(st *core.State) *core.Plan {
+	plan := newPlan()
+	plans, order := buildPlans(st.Nodes)
+	seedRunning(st, plans)
+
+	entities := len(st.Apps) + len(st.Jobs)
+	if entities == 0 {
+		return plan
+	}
+	perEntity := st.TotalCPU() / res.CPU(entities)
+
+	// Web: equal share, capped by demand, spread over instances.
+	for ai := range st.Apps {
+		app := &st.Apps[ai]
+		curve := app.Curve()
+		plan.AppDemand[app.ID] = curve.MaxUseful()
+		target := res.Min(perEntity, curve.MaxUseful())
+		needed := app.MinInstances
+		if needed < 1 {
+			needed = 1
+		}
+		if needed > len(order) {
+			needed = len(order)
+		}
+		kept := make([]cluster.NodeID, 0, needed)
+		for _, n := range app.InstanceNodes() {
+			if _, ok := plans[n]; ok && len(kept) < needed {
+				kept = append(kept, n)
+				plans[n].memUsed += app.InstanceMem
+			}
+		}
+		for _, n := range order {
+			if len(kept) >= needed {
+				break
+			}
+			if app.Instances[n] > 0 || plans[n].freeMem() < app.InstanceMem {
+				continue
+			}
+			kept = append(kept, n)
+			plans[n].memUsed += app.InstanceMem
+			plan.Actions = append(plan.Actions, core.AddInstance{App: app.ID, Node: n, Share: target / res.CPU(needed)})
+		}
+		if len(kept) == 0 {
+			continue
+		}
+		per := res.Min(target/res.CPU(len(kept)), app.MaxPerInstance)
+		for _, n := range kept {
+			plans[n].cpuUsed += per
+			plan.AppTarget[app.ID] += per
+			cur, had := app.Instances[n]
+			if had && !res.AlmostEqual(cur, per) {
+				plan.Actions = append(plan.Actions, core.SetInstanceShare{App: app.ID, Node: n, Share: per})
+			}
+		}
+		plan.AppPrediction[app.ID] = curve.UtilityAt(plan.AppTarget[app.ID])
+	}
+
+	// Jobs: least laxity first, at the equal share.
+	jobs := jobPtrs(st)
+	sort.SliceStable(jobs, func(a, b int) bool {
+		la, lb := jobs[a].Laxity(st.Now), jobs[b].Laxity(st.Now)
+		if la != lb {
+			return la < lb
+		}
+		return jobs[a].ID < jobs[b].ID
+	})
+	shares := make(map[batch.JobID]res.CPU, len(jobs))
+	for _, j := range jobs {
+		share := res.Min(perEntity, j.MaxSpeed)
+		if j.State == batch.Running {
+			if _, ok := plans[j.Node]; ok {
+				// Residency already accounted by seedRunning.
+				shares[j.ID] = share
+				if !res.AlmostEqual(share, j.Share) {
+					plan.Actions = append(plan.Actions, core.SetJobShare{Job: j.ID, Share: share})
+				}
+			}
+			continue
+		}
+		var best cluster.NodeID
+		var bestFree res.Memory = -1
+		for _, n := range order {
+			p := plans[n]
+			if p.freeMem() >= j.Mem && p.freeMem() > bestFree {
+				best, bestFree = n, p.freeMem()
+			}
+		}
+		if best == "" {
+			continue
+		}
+		plans[best].memUsed += j.Mem
+		shares[j.ID] = share
+		if j.State == batch.Pending {
+			plan.Actions = append(plan.Actions, core.StartJob{Job: j.ID, Node: best, Share: share})
+		} else {
+			plan.Actions = append(plan.Actions, core.ResumeJob{Job: j.ID, Node: best, Share: share})
+		}
+	}
+	recordJobDiagnostics(st, plan, shares)
+	return plan
+}

@@ -1,0 +1,133 @@
+package cluster
+
+import (
+	"testing"
+
+	"slaplace/internal/res"
+)
+
+func TestAddAndLookup(t *testing.T) {
+	c := New()
+	n, err := c.Add("a", 18000, 16*res.GB)
+	if err != nil {
+		t.Fatalf("Add: %v", err)
+	}
+	if n.ID() != "a" || n.CPU() != 18000 || n.Mem() != 16*res.GB || !n.Online() {
+		t.Errorf("node fields wrong: %v", n)
+	}
+	got, ok := c.Node("a")
+	if !ok || got != n {
+		t.Error("lookup failed")
+	}
+	if _, ok := c.Node("missing"); ok {
+		t.Error("lookup of missing node succeeded")
+	}
+}
+
+func TestAddValidation(t *testing.T) {
+	c := New()
+	if _, err := c.Add("", 1, 1); err == nil {
+		t.Error("empty ID accepted")
+	}
+	if _, err := c.Add("a", 0, 1); err == nil {
+		t.Error("zero CPU accepted")
+	}
+	if _, err := c.Add("a", 1, 0); err == nil {
+		t.Error("zero memory accepted")
+	}
+	if _, err := c.Add("a", 1, 1); err != nil {
+		t.Errorf("valid Add rejected: %v", err)
+	}
+	if _, err := c.Add("a", 1, 1); err == nil {
+		t.Error("duplicate ID accepted")
+	}
+}
+
+func TestRemove(t *testing.T) {
+	c := New()
+	c.Add("a", 1, 1)
+	c.Add("b", 1, 1)
+	if err := c.Remove("a"); err != nil {
+		t.Fatalf("Remove: %v", err)
+	}
+	if err := c.Remove("a"); err == nil {
+		t.Error("double remove succeeded")
+	}
+	if c.Size() != 1 {
+		t.Errorf("Size = %d, want 1", c.Size())
+	}
+	nodes := c.Nodes()
+	if len(nodes) != 1 || nodes[0].ID() != "b" {
+		t.Errorf("Nodes after remove: %v", nodes)
+	}
+}
+
+func TestUniform(t *testing.T) {
+	c := Uniform(25, 18000, 16000)
+	if c.Size() != 25 {
+		t.Fatalf("Size = %d, want 25", c.Size())
+	}
+	if c.TotalCPU() != 25*18000 {
+		t.Errorf("TotalCPU = %v, want %v", c.TotalCPU(), res.CPU(25*18000))
+	}
+	if c.TotalMem() != 25*16000 {
+		t.Errorf("TotalMem = %v", c.TotalMem())
+	}
+	nodes := c.Nodes()
+	if nodes[0].ID() != "node-001" || nodes[24].ID() != "node-025" {
+		t.Errorf("unexpected node naming: %v ... %v", nodes[0].ID(), nodes[24].ID())
+	}
+}
+
+func TestUniformPanicsOnBadCount(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Uniform(0) did not panic")
+		}
+	}()
+	Uniform(0, 1, 1)
+}
+
+func TestOnlineToggleAffectsTotals(t *testing.T) {
+	c := Uniform(4, 1000, 1000)
+	if !c.SetOnline("node-002", false) {
+		t.Fatal("SetOnline returned false for existing node")
+	}
+	if c.SetOnline("nope", false) {
+		t.Error("SetOnline returned true for missing node")
+	}
+	if got := c.TotalCPU(); got != 3000 {
+		t.Errorf("TotalCPU with one node offline = %v, want 3000", got)
+	}
+	if got := len(c.OnlineNodes()); got != 3 {
+		t.Errorf("OnlineNodes = %d, want 3", got)
+	}
+	if c.Size() != 4 {
+		t.Errorf("Size = %d, want 4 (offline still a member)", c.Size())
+	}
+	c.SetOnline("node-002", true)
+	if got := c.TotalCPU(); got != 4000 {
+		t.Errorf("TotalCPU after recovery = %v, want 4000", got)
+	}
+}
+
+func TestIterationOrderIsStable(t *testing.T) {
+	c := New()
+	ids := []NodeID{"zeta", "alpha", "mid"}
+	for _, id := range ids {
+		c.Add(id, 1, 1)
+	}
+	nodes := c.Nodes()
+	for i, n := range nodes {
+		if n.ID() != ids[i] {
+			t.Fatalf("Nodes()[%d] = %v, want insertion order %v", i, n.ID(), ids[i])
+		}
+	}
+	sorted := c.IDs()
+	want := []NodeID{"alpha", "mid", "zeta"}
+	for i := range want {
+		if sorted[i] != want[i] {
+			t.Fatalf("IDs() = %v, want %v", sorted, want)
+		}
+	}
+}

@@ -1,0 +1,308 @@
+// Package core implements the paper's primary contribution: the
+// placement controller that manages heterogeneous workloads — web
+// applications with response-time SLAs and long-running jobs with
+// completion-time SLAs — on one virtualized cluster.
+//
+// Every control cycle (600 s in the paper) the controller receives a
+// State snapshot and produces a Plan:
+//
+//  1. Build a utility curve per workload (per job, per application)
+//     from current progress, goals and measured arrival rates.
+//  2. Equalize hypothetical utility across all curves over the
+//     cluster's total CPU power (internal/utility) — the continuous,
+//     placement-oblivious allocation the paper describes in §2.
+//  3. Round the continuous allocation into a discrete placement under
+//     per-node memory constraints, preferring to keep work where it
+//     runs (suspend/resume/migrate have real costs), suspending the
+//     least urgent jobs under memory pressure and reserving each web
+//     application's equalized share on the nodes of its instances.
+//
+// The Controller interface is shared with internal/baseline so the
+// benchmark harness can swap policies freely.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"slaplace/internal/cluster"
+	"slaplace/internal/queueing"
+	"slaplace/internal/res"
+	"slaplace/internal/utility"
+	"slaplace/internal/workload/batch"
+	"slaplace/internal/workload/trans"
+)
+
+// NodeInfo is a node's capacity as seen by the planner.
+type NodeInfo struct {
+	ID  cluster.NodeID
+	CPU res.CPU
+	Mem res.Memory
+}
+
+// JobInfo is one incomplete job's snapshot.
+type JobInfo struct {
+	ID        batch.JobID
+	Class     string         // job class name (service differentiation)
+	State     batch.State    // Pending, Running or Suspended
+	Node      cluster.NodeID // hosting node when Running ("" otherwise)
+	Share     res.CPU        // current share when Running
+	Migrating bool           // a live migration is already in flight
+	Remaining res.Work       // work left
+	MaxSpeed  res.CPU
+	Mem       res.Memory
+	Goal      float64 // absolute completion goal
+	Submitted float64
+	Fn        utility.Function // nil = default
+}
+
+// Laxity is the job's slack: time to goal minus remaining run time at
+// full speed. Negative means the goal is no longer reachable. The
+// planner runs the least-lax jobs first — the discrete counterpart of
+// "give to the least satisfied".
+func (j JobInfo) Laxity(now float64) float64 {
+	return (j.Goal - now) - j.Remaining.Seconds(j.MaxSpeed)
+}
+
+// Curve builds the job's hypothetical-utility curve.
+func (j JobInfo) Curve(now float64) *utility.JobCurve {
+	return utility.NewJobCurve(string(j.ID), now, j.Remaining, j.MaxSpeed, j.Goal, j.Fn)
+}
+
+// AppInfo is one web application's snapshot.
+type AppInfo struct {
+	ID             trans.AppID
+	Lambda         float64 // measured arrival rate (req/s)
+	RTGoal         float64
+	Model          queueing.Model
+	Fn             utility.Function // nil = default
+	InstanceMem    res.Memory
+	MaxPerInstance res.CPU
+	MinInstances   int
+	MaxInstances   int // 0 = unbounded
+	// Instances maps hosting node to the instance's current share.
+	Instances map[cluster.NodeID]res.CPU
+	// MeasuredRT is the observed mean response time this cycle
+	// (+Inf when overloaded; 0 when unknown).
+	MeasuredRT float64
+}
+
+// Curve builds the app's utility curve at its measured arrival rate.
+func (a AppInfo) Curve() *utility.TransCurve {
+	return utility.NewTransCurve(string(a.ID), a.Lambda, a.RTGoal, a.Model, a.Fn)
+}
+
+// InstanceNodes returns the instance-hosting nodes in sorted order.
+func (a AppInfo) InstanceNodes() []cluster.NodeID {
+	out := make([]cluster.NodeID, 0, len(a.Instances))
+	for n := range a.Instances {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// State is the monitoring snapshot a controller plans from. Only
+// incomplete jobs appear. States are value snapshots: planning must not
+// mutate the world.
+type State struct {
+	Now   float64
+	Nodes []NodeInfo
+	Jobs  []JobInfo
+	Apps  []AppInfo
+}
+
+// TotalCPU sums node CPU capacity.
+func (s *State) TotalCPU() res.CPU {
+	var sum res.CPU
+	for _, n := range s.Nodes {
+		sum += n.CPU
+	}
+	return sum
+}
+
+// TotalMem sums node memory capacity.
+func (s *State) TotalMem() res.Memory {
+	var sum res.Memory
+	for _, n := range s.Nodes {
+		sum += n.Mem
+	}
+	return sum
+}
+
+// Action is one placement decision. The executor in internal/control
+// translates actions into vm/workload operations, sequencing suspends
+// before placements that need the freed memory.
+type Action interface {
+	fmt.Stringer
+	isAction()
+}
+
+// StartJob places a pending job.
+type StartJob struct {
+	Job   batch.JobID
+	Node  cluster.NodeID
+	Share res.CPU
+}
+
+func (StartJob) isAction() {}
+
+// String implements fmt.Stringer.
+func (a StartJob) String() string {
+	return fmt.Sprintf("start job %s on %s @ %v", a.Job, a.Node, a.Share)
+}
+
+// ResumeJob restores a suspended job.
+type ResumeJob struct {
+	Job   batch.JobID
+	Node  cluster.NodeID
+	Share res.CPU
+}
+
+func (ResumeJob) isAction() {}
+
+// String implements fmt.Stringer.
+func (a ResumeJob) String() string {
+	return fmt.Sprintf("resume job %s on %s @ %v", a.Job, a.Node, a.Share)
+}
+
+// SuspendJob checkpoints a running job.
+type SuspendJob struct {
+	Job batch.JobID
+}
+
+func (SuspendJob) isAction() {}
+
+// String implements fmt.Stringer.
+func (a SuspendJob) String() string { return fmt.Sprintf("suspend job %s", a.Job) }
+
+// MigrateJob live-migrates a running job.
+type MigrateJob struct {
+	Job   batch.JobID
+	Dst   cluster.NodeID
+	Share res.CPU // share to set after (and during) migration
+}
+
+func (MigrateJob) isAction() {}
+
+// String implements fmt.Stringer.
+func (a MigrateJob) String() string {
+	return fmt.Sprintf("migrate job %s to %s @ %v", a.Job, a.Dst, a.Share)
+}
+
+// SetJobShare adjusts a running job's CPU share.
+type SetJobShare struct {
+	Job   batch.JobID
+	Share res.CPU
+}
+
+func (SetJobShare) isAction() {}
+
+// String implements fmt.Stringer.
+func (a SetJobShare) String() string {
+	return fmt.Sprintf("set job %s share %v", a.Job, a.Share)
+}
+
+// AddInstance places a new web application instance.
+type AddInstance struct {
+	App   trans.AppID
+	Node  cluster.NodeID
+	Share res.CPU
+}
+
+func (AddInstance) isAction() {}
+
+// String implements fmt.Stringer.
+func (a AddInstance) String() string {
+	return fmt.Sprintf("add instance of %s on %s @ %v", a.App, a.Node, a.Share)
+}
+
+// RemoveInstance retires a web application instance.
+type RemoveInstance struct {
+	App  trans.AppID
+	Node cluster.NodeID
+}
+
+func (RemoveInstance) isAction() {}
+
+// String implements fmt.Stringer.
+func (a RemoveInstance) String() string {
+	return fmt.Sprintf("remove instance of %s from %s", a.App, a.Node)
+}
+
+// SetInstanceShare adjusts one instance's CPU share.
+type SetInstanceShare struct {
+	App   trans.AppID
+	Node  cluster.NodeID
+	Share res.CPU
+}
+
+func (SetInstanceShare) isAction() {}
+
+// String implements fmt.Stringer.
+func (a SetInstanceShare) String() string {
+	return fmt.Sprintf("set instance of %s on %s share %v", a.App, a.Node, a.Share)
+}
+
+// Plan is a controller's output: actions plus the predictions the
+// experiment harness records (they become the paper's figure series).
+type Plan struct {
+	Actions []Action
+
+	// HypotheticalJobUtility is the mean predicted utility across
+	// incomplete jobs under the equalized allocation — the
+	// "average hypothetical utility for the long-running workload"
+	// plotted in the paper's Figure 1.
+	HypotheticalJobUtility float64
+	// ClassHypoUtility breaks the hypothetical utility down by job
+	// class (used by the service-differentiation figures).
+	ClassHypoUtility map[string]float64
+	// EqualizedUtility is the max-min utility level of the equalization.
+	EqualizedUtility float64
+	// AppPrediction maps each application to its predicted utility.
+	AppPrediction map[trans.AppID]float64
+
+	// JobDemand is the CPU that would satisfy every job fully
+	// (Figure 2's "long running demand").
+	JobDemand res.CPU
+	// AppDemand is, per application, the CPU for maximum utility
+	// (Figure 2's "transactional demand").
+	AppDemand map[trans.AppID]res.CPU
+	// JobTarget / AppTarget are the equalized (satisfied) allocations
+	// (Figure 2's "satisfied demand" series).
+	JobTarget res.CPU
+	AppTarget map[trans.AppID]res.CPU
+}
+
+// Controller plans placements from state snapshots. Implementations
+// must be deterministic: identical states yield identical plans.
+type Controller interface {
+	Name() string
+	Plan(st *State) *Plan
+}
+
+// CountActions tallies the plan's actions by kind — used by churn
+// metrics and tests.
+func (p *Plan) CountActions() (starts, resumes, suspends, migrations, reshares, instAdds, instRemoves, instShares int) {
+	for _, a := range p.Actions {
+		switch a.(type) {
+		case StartJob:
+			starts++
+		case ResumeJob:
+			resumes++
+		case SuspendJob:
+			suspends++
+		case MigrateJob:
+			migrations++
+		case SetJobShare:
+			reshares++
+		case AddInstance:
+			instAdds++
+		case RemoveInstance:
+			instRemoves++
+		case SetInstanceShare:
+			instShares++
+		}
+	}
+	return
+}

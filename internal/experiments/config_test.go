@@ -1,0 +1,206 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"slaplace/internal/res"
+	"slaplace/internal/trace"
+)
+
+// validJSON is a complete scenario document exercising most knobs.
+const validJSON = `{
+  "name": "json-test",
+  "seed": 7,
+  "horizon": 7200,
+  "nodes": 4,
+  "nodeCPUMHz": 18000,
+  "nodeMemMB": 16000,
+  "defaultCosts": true,
+  "controller": {"kind": "utility"},
+  "cyclePeriod": 300,
+  "firstCycle": 60,
+  "actuationDelay": 25,
+  "jobs": [{
+    "name": "crunch",
+    "workMHzs": 5400000,
+    "maxSpeedMHz": 4500,
+    "memMB": 5000,
+    "goalStretch": 3,
+    "phases": [{"start": 0, "meanInterarrival": 400}],
+    "maxJobs": 10,
+    "initialBurst": 2,
+    "idPrefix": "crunch"
+  }],
+  "apps": [{
+    "id": "web",
+    "rtGoal": 3,
+    "demandMHzs": 1350,
+    "coreSpeedMHz": 4500,
+    "pattern": {"kind": "constant", "rate": 10},
+    "instanceMemMB": 1000,
+    "maxPerInstanceMHz": 18000,
+    "minInstances": 1,
+    "noiseCV": 0.03,
+    "estimateLambda": true
+  }],
+  "faults": [{"node": "node-002", "failAt": 3000, "restoreAt": 5000}]
+}`
+
+func TestLoadScenarioAndRun(t *testing.T) {
+	sc, err := LoadScenario(strings.NewReader(validJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Name != "json-test" || sc.Nodes != 4 || len(sc.Jobs) != 1 || len(sc.Apps) != 1 {
+		t.Fatalf("scenario shape wrong: %+v", sc)
+	}
+	if len(sc.Faults) != 1 || sc.Faults[0].Node != "node-002" {
+		t.Errorf("faults: %+v", sc.Faults)
+	}
+	r, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.JobStats.Completed == 0 {
+		t.Error("JSON-built scenario completed no jobs")
+	}
+}
+
+func TestLoadScenarioRejectsUnknownFields(t *testing.T) {
+	in := `{"name": "x", "bogusField": 1}`
+	if _, err := LoadScenario(strings.NewReader(in)); err == nil {
+		t.Error("unknown field accepted")
+	}
+}
+
+func TestLoadScenarioRejectsInvalid(t *testing.T) {
+	// Valid JSON, invalid scenario (no horizon).
+	in := `{"name": "x", "nodes": 1, "nodeCPUMHz": 1, "nodeMemMB": 1,
+	        "controller": {"kind": "utility"}, "cyclePeriod": 10}`
+	if _, err := LoadScenario(strings.NewReader(in)); err == nil {
+		t.Error("invalid scenario accepted")
+	}
+}
+
+func TestControllerJSONKinds(t *testing.T) {
+	cases := []struct {
+		in      ControllerJSON
+		wantErr bool
+		name    string
+	}{
+		{ControllerJSON{}, false, "utility-placement"},
+		{ControllerJSON{Kind: "fcfs"}, false, "fcfs"},
+		{ControllerJSON{Kind: "edf"}, false, "edf"},
+		{ControllerJSON{Kind: "fairshare"}, false, "fairshare"},
+		{ControllerJSON{Kind: "static", BatchFraction: 0.5}, false, "static[batch=50%]"},
+		{ControllerJSON{Kind: "static"}, true, ""},
+		{ControllerJSON{Kind: "alien"}, true, ""},
+		{ControllerJSON{Kind: "utility", MigrationGain: 0.5}, true, ""},
+	}
+	for i, c := range cases {
+		ctrl, err := c.in.Build()
+		if c.wantErr {
+			if err == nil {
+				t.Errorf("case %d: expected error", i)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("case %d: %v", i, err)
+			continue
+		}
+		if ctrl.Name() != c.name {
+			t.Errorf("case %d: name %q, want %q", i, ctrl.Name(), c.name)
+		}
+	}
+}
+
+func TestControllerJSONUtilityKnobs(t *testing.T) {
+	zero := 0
+	cj := ControllerJSON{
+		Kind:                  "utility",
+		ShareTolerance:        0.1,
+		MigrationThreshold:    0.3,
+		MigrationGain:         2,
+		MaxMigrationsPerCycle: &zero,
+		ChurnOblivious:        true,
+	}
+	if _, err := cj.Build(); err != nil {
+		t.Fatalf("tuned utility controller rejected: %v", err)
+	}
+}
+
+func TestFnJSON(t *testing.T) {
+	if fn, err := (FnJSON{}).Build(); err != nil || fn != nil {
+		t.Errorf("empty fn = (%v, %v), want nil default", fn, err)
+	}
+	if fn, err := (FnJSON{Kind: "linear", Floor: -2}).Build(); err != nil || fn == nil {
+		t.Errorf("linear fn: %v", err)
+	}
+	if fn, err := (FnJSON{Kind: "sigmoid", K: 4}).Build(); err != nil || fn == nil {
+		t.Errorf("sigmoid fn: %v", err)
+	}
+	if _, err := (FnJSON{Kind: "sigmoid"}).Build(); err == nil {
+		t.Error("sigmoid without k accepted")
+	}
+	if _, err := (FnJSON{Kind: "linear", Floor: 2}).Build(); err == nil {
+		t.Error("linear floor >= 1 accepted")
+	}
+	if _, err := (FnJSON{Kind: "alien"}).Build(); err == nil {
+		t.Error("unknown fn accepted")
+	}
+}
+
+func TestPatternJSON(t *testing.T) {
+	if p, err := (PatternJSON{Kind: "constant", Rate: 5}).Build(); err != nil || p.Lambda(0) != 5 {
+		t.Errorf("constant: %v", err)
+	}
+	if p, err := (PatternJSON{Kind: "step", Times: []float64{0, 10}, Rates: []float64{1, 2}}).Build(); err != nil || p.Lambda(11) != 2 {
+		t.Errorf("step: %v", err)
+	}
+	if _, err := (PatternJSON{Kind: "diurnal", Base: 5, Amplitude: 2, Period: 100}).Build(); err != nil {
+		t.Errorf("diurnal: %v", err)
+	}
+	if _, err := (PatternJSON{Kind: "trace", Times: []float64{0, 10}, Rates: []float64{1, 2}}).Build(); err != nil {
+		t.Errorf("trace: %v", err)
+	}
+	if _, err := (PatternJSON{Kind: "diurnal"}).Build(); err == nil {
+		t.Error("diurnal without period accepted")
+	}
+	if _, err := (PatternJSON{Kind: "alien"}).Build(); err == nil {
+		t.Error("unknown pattern accepted")
+	}
+}
+
+func TestTraceScenarioRuns(t *testing.T) {
+	sc := QuickScenario(9)
+	sc.Jobs = nil
+	sc.JobTrace = nil
+	sc.TraceBase = PaperJobClass()
+	for i := 0; i < 5; i++ {
+		sc.JobTrace = append(sc.JobTrace, traceRecord(i))
+	}
+	r, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Submitted != 5 {
+		t.Errorf("submitted %d, want 5 trace jobs", r.Submitted)
+	}
+	if r.JobStats.Completed != 5 {
+		t.Errorf("completed %d of 5 trace jobs", r.JobStats.Completed)
+	}
+}
+
+// traceRecord builds a short test job record.
+func traceRecord(i int) trace.JobRecord {
+	return trace.JobRecord{
+		ID:       fmt.Sprintf("tr-%d", i),
+		Submit:   float64(i * 120),
+		Work:     res.Work(4500 * 600),
+		MaxSpeed: 4500,
+		Mem:      5000,
+	}
+}

@@ -1,0 +1,201 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"slaplace/internal/core"
+	"slaplace/internal/utility"
+	"slaplace/internal/workload/trans"
+)
+
+// MaxMinUtility is the paper's objective read off a finished run: the
+// minimum, after the warm-up prefix, over every workload's recorded
+// utility series (measured web utility and mean hypothetical job
+// utility).
+func MaxMinUtility(r *Result, warmup float64) float64 {
+	min := math.Inf(1)
+	for _, name := range r.Recorder.SeriesNames() {
+		isJob := name == "jobs/hypoUtility"
+		isWeb := len(name) > 6 && name[:6] == "trans/" && hasSuffix(name, "/utility")
+		if !isJob && !isWeb {
+			continue
+		}
+		for _, p := range r.Recorder.Series(name).Window(warmup, math.Inf(1)) {
+			if p.V < min {
+				min = p.V
+			}
+		}
+	}
+	if math.IsInf(min, 1) {
+		return 0
+	}
+	return min
+}
+
+// hasSuffix avoids importing strings for one call site.
+func hasSuffix(s, suf string) bool {
+	return len(s) >= len(suf) && s[len(s)-len(suf):] == suf
+}
+
+// SweepPoint is one sweep configuration's aggregate outcome.
+type SweepPoint struct {
+	Label          string
+	Param          float64
+	MaxMinUtility  float64
+	CompletionU    float64 // mean completion utility over all classes
+	Completed      int
+	GoalViolations int
+	Suspends       int
+	Migrations     int
+	FailedActions  int
+}
+
+// pointFrom extracts a sweep point from a result.
+func pointFrom(label string, param float64, r *Result) SweepPoint {
+	var uSum float64
+	var n int
+	for _, cs := range r.ClassStats {
+		uSum += cs.MeanCompletionUtility * float64(cs.Completed)
+		n += cs.Completed
+	}
+	p := SweepPoint{
+		Label:          label,
+		Param:          param,
+		MaxMinUtility:  MaxMinUtility(r, 1200),
+		Completed:      r.JobStats.Completed,
+		GoalViolations: r.JobStats.GoalViolations,
+		Suspends:       r.VMCounters.Suspends,
+		Migrations:     r.VMCounters.Migrations,
+		FailedActions:  r.FailedActions,
+	}
+	if n > 0 {
+		p.CompletionU = uSum / float64(n)
+	}
+	return p
+}
+
+// CycleSweep measures sensitivity to the control cycle period (the
+// paper fixes 600 s; this quantifies what that choice costs or buys).
+// Each period reruns the shortened paper workload with an identical
+// arrival trace.
+func CycleSweep(seed uint64, periods []float64) ([]SweepPoint, error) {
+	if len(periods) == 0 {
+		periods = []float64{150, 300, 600, 1200, 2400}
+	}
+	out := make([]SweepPoint, 0, len(periods))
+	for _, period := range periods {
+		sc := PaperScenario(seed)
+		sc.Name = fmt.Sprintf("sweep/cycle/%.0f", period)
+		sc.Horizon = 36000
+		sc.Loop.CyclePeriod = period
+		sc.Loop.FirstCycle = 60
+		r, err := Run(sc)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pointFrom(fmt.Sprintf("cycle=%.0fs", period), period, r))
+	}
+	return out, nil
+}
+
+// UtilityFnSweep compares utility-function shapes (the paper uses
+// monotonic continuous functions and cites alternatives): linear
+// against increasingly steep sigmoids, applied to both workload types.
+func UtilityFnSweep(seed uint64) ([]SweepPoint, error) {
+	type variant struct {
+		label string
+		param float64
+		fn    utility.Function
+	}
+	variants := []variant{
+		{"linear", 0, utility.Linear{Floor: -1}},
+		{"sigmoid k=2", 2, utility.Sigmoid{K: 2}},
+		{"sigmoid k=6", 6, utility.Sigmoid{K: 6}},
+		{"sigmoid k=12", 12, utility.Sigmoid{K: 12}},
+	}
+	out := make([]SweepPoint, 0, len(variants))
+	for _, v := range variants {
+		sc := PaperScenario(seed)
+		sc.Name = "sweep/fn/" + v.label
+		sc.Horizon = 36000
+		for i := range sc.Jobs {
+			sc.Jobs[i].Class.Fn = v.fn
+		}
+		for i := range sc.Apps {
+			sc.Apps[i].Fn = v.fn
+		}
+		r, err := Run(sc)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pointFrom(v.label, v.param, r))
+	}
+	return out, nil
+}
+
+// LoadSweep scales the transactional arrival rate across a range of
+// multipliers, holding the job stream fixed — how does the equalizer
+// shift capacity as the web tier's weight grows?
+func LoadSweep(seed uint64, multipliers []float64) ([]SweepPoint, error) {
+	if len(multipliers) == 0 {
+		multipliers = []float64{0.25, 0.5, 0.75, 1.0, 1.25}
+	}
+	out := make([]SweepPoint, 0, len(multipliers))
+	for _, m := range multipliers {
+		if m <= 0 {
+			return nil, fmt.Errorf("experiments: non-positive load multiplier %v", m)
+		}
+		sc := PaperScenario(seed)
+		sc.Name = fmt.Sprintf("sweep/load/%.2f", m)
+		sc.Horizon = 36000
+		for i := range sc.Apps {
+			sc.Apps[i].Pattern = trans.Constant{Rate: PaperWebLambda * m}
+		}
+		r, err := Run(sc)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pointFrom(fmt.Sprintf("load×%.2f", m), m, r))
+	}
+	return out, nil
+}
+
+// EvictionMarginSweep quantifies the suspension-hysteresis knob: the
+// margin trades equalization granularity (time-sharing memory slots
+// among equally-urgent jobs) against suspend/resume churn.
+func EvictionMarginSweep(seed uint64, margins []float64) ([]SweepPoint, error) {
+	if len(margins) == 0 {
+		margins = []float64{0, 600, 1800, 3600}
+	}
+	out := make([]SweepPoint, 0, len(margins))
+	for _, m := range margins {
+		if m < 0 {
+			return nil, fmt.Errorf("experiments: negative eviction margin %v", m)
+		}
+		cfg := core.DefaultConfig()
+		cfg.EvictionMargin = m
+		sc := PaperScenario(seed)
+		sc.Name = fmt.Sprintf("sweep/margin/%.0f", m)
+		sc.Horizon = 36000
+		sc.Controller = core.New(cfg)
+		r, err := Run(sc)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pointFrom(fmt.Sprintf("margin=%.0fs", m), m, r))
+	}
+	return out, nil
+}
+
+// FormatSweep renders sweep points as an aligned text table.
+func FormatSweep(points []SweepPoint) string {
+	s := fmt.Sprintf("%-14s %10s %10s %10s %6s %9s %11s\n",
+		"variant", "maxminU", "complU", "completed", "viol", "suspends", "migrations")
+	for _, p := range points {
+		s += fmt.Sprintf("%-14s %10.3f %10.3f %10d %6d %9d %11d\n",
+			p.Label, p.MaxMinUtility, p.CompletionU, p.Completed,
+			p.GoalViolations, p.Suspends, p.Migrations)
+	}
+	return s
+}

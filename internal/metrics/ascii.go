@@ -1,0 +1,93 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// asciiGlyphs are the per-series plot symbols, cycled in order.
+var asciiGlyphs = []byte{'*', '+', 'o', 'x', '#', '@'}
+
+// RenderASCII draws the given series as an ASCII chart: time on the X
+// axis, value on the Y axis, one glyph per series, a legend underneath.
+// Width and height are the plot area in characters (sensible minimums
+// enforced). Series may have different sampling grids.
+func RenderASCII(w io.Writer, title string, series []*Series, width, height int) error {
+	if width < 20 {
+		width = 20
+	}
+	if height < 5 {
+		height = 5
+	}
+	// Global extents.
+	tMin, tMax := math.Inf(1), math.Inf(-1)
+	vMin, vMax := math.Inf(1), math.Inf(-1)
+	total := 0
+	for _, s := range series {
+		for _, p := range s.Points() {
+			tMin = math.Min(tMin, p.T)
+			tMax = math.Max(tMax, p.T)
+			vMin = math.Min(vMin, p.V)
+			vMax = math.Max(vMax, p.V)
+			total++
+		}
+	}
+	if total == 0 {
+		_, err := fmt.Fprintf(w, "%s\n(no data)\n", title)
+		return err
+	}
+	if tMax == tMin {
+		tMax = tMin + 1
+	}
+	if vMax == vMin {
+		vMax = vMin + 1
+	}
+	// Pad the value range slightly so extremes are visible.
+	pad := (vMax - vMin) * 0.05
+	vMin -= pad
+	vMax += pad
+
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range series {
+		glyph := asciiGlyphs[si%len(asciiGlyphs)]
+		for _, p := range s.Points() {
+			x := int((p.T - tMin) / (tMax - tMin) * float64(width-1))
+			y := int((p.V - vMin) / (vMax - vMin) * float64(height-1))
+			row := height - 1 - y
+			if row < 0 || row >= height || x < 0 || x >= width {
+				continue
+			}
+			grid[row][x] = glyph
+		}
+	}
+
+	if title != "" {
+		if _, err := fmt.Fprintln(w, title); err != nil {
+			return err
+		}
+	}
+	for i, row := range grid {
+		v := vMax - (vMax-vMin)*float64(i)/float64(height-1)
+		if _, err := fmt.Fprintf(w, "%10.3g |%s\n", v, string(row)); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%10s +%s\n", "", strings.Repeat("-", width)); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%10s  %-*.4g%*.4g\n", "", width/2, tMin, width-width/2, tMax); err != nil {
+		return err
+	}
+	for si, s := range series {
+		glyph := asciiGlyphs[si%len(asciiGlyphs)]
+		if _, err := fmt.Fprintf(w, "%12c = %s\n", glyph, s.Name()); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,115 @@
+// Package numeric holds the small numerical routines shared by the
+// queueing models and the utility equalizer: monotone root finding by
+// bisection and a few comparison helpers. Everything here is pure and
+// allocation-free on the hot paths.
+package numeric
+
+import (
+	"fmt"
+	"math"
+)
+
+// DefaultTol is the default absolute tolerance for root finding,
+// adequate for quantities measured in MHz (1e-6 MHz is sub-Hz).
+const DefaultTol = 1e-9
+
+// BisectMonotone finds x in [lo, hi] with f(x) ≈ target for a monotone
+// non-decreasing f. If f(hi) < target it returns hi; if f(lo) > target
+// it returns lo (saturating semantics — callers use this to express
+// capacity limits). It panics if lo > hi or either bound is NaN.
+func BisectMonotone(f func(float64) float64, target, lo, hi, tol float64) float64 {
+	if math.IsNaN(lo) || math.IsNaN(hi) {
+		panic("numeric: NaN bound")
+	}
+	if lo > hi {
+		panic(fmt.Sprintf("numeric: inverted interval [%v, %v]", lo, hi))
+	}
+	if tol <= 0 {
+		tol = DefaultTol
+	}
+	if f(hi) < target {
+		return hi
+	}
+	if f(lo) >= target {
+		return lo
+	}
+	// Invariant: f(lo) < target <= f(hi).
+	for hi-lo > tol {
+		mid := lo + (hi-lo)/2
+		if mid == lo || mid == hi { // float exhaustion
+			break
+		}
+		if f(mid) < target {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return hi
+}
+
+// BisectDecreasing finds x in [lo, hi] with f(x) ≈ target for a
+// monotone non-increasing f, with the same saturating semantics:
+// if even f(lo) < target it returns lo; if f(hi) > target it returns hi.
+func BisectDecreasing(f func(float64) float64, target, lo, hi, tol float64) float64 {
+	return BisectMonotone(func(x float64) float64 { return -f(x) }, -target, lo, hi, tol)
+}
+
+// Clamp01 limits v to [0, 1].
+func Clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// Clamp limits v to [lo, hi].
+func Clamp(v, lo, hi float64) float64 {
+	if lo > hi {
+		panic(fmt.Sprintf("numeric: Clamp lo %v > hi %v", lo, hi))
+	}
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// ApproxEqual reports |a-b| <= tol·max(1, |a|, |b|).
+func ApproxEqual(a, b, tol float64) bool {
+	scale := math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+	return math.Abs(a-b) <= tol*scale
+}
+
+// Mean returns the arithmetic mean of xs (0 for an empty slice).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// WeightedMean returns Σ w·x / Σ w; 0 when weights sum to 0.
+func WeightedMean(xs, ws []float64) float64 {
+	if len(xs) != len(ws) {
+		panic("numeric: WeightedMean length mismatch")
+	}
+	var num, den float64
+	for i := range xs {
+		num += xs[i] * ws[i]
+		den += ws[i]
+	}
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}

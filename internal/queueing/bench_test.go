@@ -1,0 +1,46 @@
+package queueing
+
+import "testing"
+
+// BenchmarkMG1PSResponseTime: the forward model, called per curve
+// evaluation.
+func BenchmarkMG1PSResponseTime(b *testing.B) {
+	m, err := NewMG1PS(1350, 4500)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = m.ResponseTime(65, 150000)
+	}
+}
+
+// BenchmarkMG1PSDemandFor: the closed-form inverse.
+func BenchmarkMG1PSDemandFor(b *testing.B) {
+	m, err := NewMG1PS(1350, 4500)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = m.DemandFor(65, 1.0)
+	}
+}
+
+// BenchmarkMMcResponseTime: the Erlang-C recurrence at cluster scale.
+func BenchmarkMMcResponseTime(b *testing.B) {
+	m := MMc{DemandMHzs: 1350, CoreSpeed: 4500}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = m.ResponseTime(65, 150000)
+	}
+}
+
+// BenchmarkMMcDemandFor: the bisection inverse.
+func BenchmarkMMcDemandFor(b *testing.B) {
+	m := MMc{DemandMHzs: 1350, CoreSpeed: 4500}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = m.DemandFor(65, 1.0)
+	}
+}

@@ -1,0 +1,32 @@
+package reqsim
+
+import (
+	"testing"
+
+	"slaplace/internal/rng"
+)
+
+// BenchmarkSimulate measures request-level simulation throughput
+// (requests per second of wall time) at a cluster-scale operating
+// point.
+func BenchmarkSimulate(b *testing.B) {
+	cfg := Config{
+		Capacity:  112500,
+		CoreSpeed: 4500,
+		Lambda:    65,
+		Demand:    ExpDemand{1350},
+		Warmup:    500,
+		Requests:  10000,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st, err := Simulate(cfg, rng.NewSource(uint64(i)).Stream("bench"))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if st.Completed != cfg.Requests {
+			b.Fatal("short run")
+		}
+	}
+	b.ReportMetric(float64(cfg.Requests)*float64(b.N)/b.Elapsed().Seconds(), "req/s")
+}

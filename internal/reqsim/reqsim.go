@@ -1,0 +1,271 @@
+// Package reqsim is a request-level, event-driven simulation of the
+// processor-sharing queue that stands behind every transactional
+// application in this repository. The placement controller relies on
+// the *analytic* M/G/1-PS model (internal/queueing) — this package
+// exists to validate that model against ground truth: it simulates
+// individual Poisson-arriving requests sharing a capped fluid server
+// and measures actual response times.
+//
+// Dynamics. The server has capacity Ω MHz; a request can use at most
+// one core (CoreSpeed MHz). With n requests in the system, every
+// request progresses at rate r(n) = min(Ω/n, CoreSpeed). Because the
+// rate is identical for all active requests, each request's lifetime
+// service is an interval of the shared cumulative service process
+// S(t) = ∫ r(n(τ)) dτ: a request arriving at time a with demand d
+// departs exactly when S(t) = S(a) + d. The simulation therefore needs
+// only a min-heap of service milestones — each event is O(log n), and
+// the measured response times are exact (no time-stepping error).
+package reqsim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+
+	"slaplace/internal/res"
+	"slaplace/internal/rng"
+)
+
+// DemandDist samples per-request service demands in MHz·seconds.
+type DemandDist interface {
+	Sample(r *rng.Stream) float64
+	Mean() float64
+	Name() string
+}
+
+// ExpDemand is an exponential demand — the M/M/1-PS case.
+type ExpDemand struct {
+	MeanMHzs float64
+}
+
+var _ DemandDist = ExpDemand{}
+
+// Sample implements DemandDist.
+func (d ExpDemand) Sample(r *rng.Stream) float64 { return r.Exp(d.MeanMHzs) }
+
+// Mean implements DemandDist.
+func (d ExpDemand) Mean() float64 { return d.MeanMHzs }
+
+// Name implements DemandDist.
+func (d ExpDemand) Name() string { return fmt.Sprintf("exp[%g]", d.MeanMHzs) }
+
+// DetDemand is a deterministic demand — the M/D/1-PS case. PS queues
+// are insensitive to the demand distribution beyond its mean, which
+// the validation tests exploit.
+type DetDemand struct {
+	MHzs float64
+}
+
+var _ DemandDist = DetDemand{}
+
+// Sample implements DemandDist.
+func (d DetDemand) Sample(*rng.Stream) float64 { return d.MHzs }
+
+// Mean implements DemandDist.
+func (d DetDemand) Mean() float64 { return d.MHzs }
+
+// Name implements DemandDist.
+func (d DetDemand) Name() string { return fmt.Sprintf("det[%g]", d.MHzs) }
+
+// ParetoDemand is a heavy-tailed demand (shape > 1).
+type ParetoDemand struct {
+	Shape, Scale float64
+}
+
+var _ DemandDist = ParetoDemand{}
+
+// Sample implements DemandDist.
+func (d ParetoDemand) Sample(r *rng.Stream) float64 { return r.Pareto(d.Shape, d.Scale) }
+
+// Mean implements DemandDist.
+func (d ParetoDemand) Mean() float64 {
+	if d.Shape <= 1 {
+		return math.Inf(1)
+	}
+	return d.Shape * d.Scale / (d.Shape - 1)
+}
+
+// Name implements DemandDist.
+func (d ParetoDemand) Name() string { return fmt.Sprintf("pareto[%g,%g]", d.Shape, d.Scale) }
+
+// Config describes one simulated server run.
+type Config struct {
+	// Capacity is the server's fluid capacity Ω in MHz.
+	Capacity res.CPU
+	// CoreSpeed caps one request's execution rate.
+	CoreSpeed res.CPU
+	// Lambda is the Poisson arrival rate, req/s.
+	Lambda float64
+	// Demand samples per-request work.
+	Demand DemandDist
+	// Warmup requests are simulated but excluded from statistics.
+	Warmup int
+	// Requests is the number of measured requests.
+	Requests int
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.Capacity <= 0 {
+		return fmt.Errorf("reqsim: non-positive capacity %v", c.Capacity)
+	}
+	if c.CoreSpeed <= 0 {
+		return fmt.Errorf("reqsim: non-positive core speed %v", c.CoreSpeed)
+	}
+	if c.Lambda <= 0 {
+		return fmt.Errorf("reqsim: non-positive lambda %v", c.Lambda)
+	}
+	if c.Demand == nil {
+		return fmt.Errorf("reqsim: nil demand distribution")
+	}
+	if c.Requests <= 0 {
+		return fmt.Errorf("reqsim: non-positive request count %d", c.Requests)
+	}
+	if c.Warmup < 0 {
+		return fmt.Errorf("reqsim: negative warmup %d", c.Warmup)
+	}
+	rho := c.Lambda * c.Demand.Mean() / float64(c.Capacity)
+	if rho >= 1 {
+		return fmt.Errorf("reqsim: unstable configuration (rho = %.3f)", rho)
+	}
+	return nil
+}
+
+// Stats summarizes a run's measured requests.
+type Stats struct {
+	Completed   int
+	MeanRT      float64
+	P50RT       float64
+	P95RT       float64
+	MaxRT       float64
+	MeanInSys   float64 // time-average number in system
+	Utilization float64 // fraction of capacity busy
+	Duration    float64 // simulated seconds covered
+}
+
+// request tracks one in-flight request.
+type request struct {
+	milestone float64 // cumulative-service level at which it departs
+	arrival   float64 // arrival time
+	index     int
+	measured  bool
+}
+
+type milestoneHeap []*request
+
+func (h milestoneHeap) Len() int           { return len(h) }
+func (h milestoneHeap) Less(i, j int) bool { return h[i].milestone < h[j].milestone }
+func (h milestoneHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i]; h[i].index = i; h[j].index = j }
+func (h *milestoneHeap) Push(x any)        { r := x.(*request); r.index = len(*h); *h = append(*h, r) }
+func (h *milestoneHeap) Pop() any {
+	old := *h
+	n := len(old)
+	r := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return r
+}
+
+// Simulate runs the queue until Warmup+Requests requests have departed
+// and returns statistics over the measured ones.
+func Simulate(cfg Config, stream *rng.Stream) (Stats, error) {
+	if err := cfg.Validate(); err != nil {
+		return Stats{}, err
+	}
+	if stream == nil {
+		return Stats{}, fmt.Errorf("reqsim: nil RNG stream")
+	}
+
+	var (
+		now        float64 // wall-clock time
+		served     float64 // cumulative shared service S(t)
+		active     milestoneHeap
+		departed   int
+		total      = cfg.Warmup + cfg.Requests
+		rts        []float64
+		areaInSys  float64 // ∫ n dt for mean-number-in-system
+		busy       float64 // ∫ used-capacity dt
+		statsStart = math.Inf(1)
+		nextArr    = stream.Exp(1 / cfg.Lambda)
+	)
+
+	rate := func() float64 { // per-request service rate
+		n := len(active)
+		if n == 0 {
+			return 0
+		}
+		return math.Min(float64(cfg.Capacity)/float64(n), float64(cfg.CoreSpeed))
+	}
+
+	for departed < total {
+		r := rate()
+		// Next departure time under the current rate.
+		depart := math.Inf(1)
+		if len(active) > 0 {
+			depart = now + (active[0].milestone-served)/r
+		}
+		if nextArr < depart {
+			// Advance to the arrival.
+			dt := nextArr - now
+			if len(active) > 0 {
+				served += r * dt
+				if now >= statsStart {
+					areaInSys += float64(len(active)) * dt
+					busy += r * float64(len(active)) * dt
+				}
+			}
+			now = nextArr
+			req := &request{
+				milestone: served + cfg.Demand.Sample(stream),
+				arrival:   now,
+				measured:  departed+len(active) >= cfg.Warmup,
+			}
+			heap.Push(&active, req)
+			if math.IsInf(statsStart, 1) && req.measured {
+				statsStart = now
+			}
+			nextArr = now + stream.Exp(1/cfg.Lambda)
+			continue
+		}
+		// Advance to the departure.
+		dt := depart - now
+		served += r * dt
+		if now >= statsStart {
+			areaInSys += float64(len(active)) * dt
+			busy += r * float64(len(active)) * dt
+		}
+		now = depart
+		req := heap.Pop(&active).(*request)
+		departed++
+		if req.measured && len(rts) < cfg.Requests {
+			rts = append(rts, now-req.arrival)
+		}
+	}
+
+	if len(rts) == 0 {
+		return Stats{}, fmt.Errorf("reqsim: no measured requests (warmup too large?)")
+	}
+	sort.Float64s(rts)
+	var sum, max float64
+	for _, v := range rts {
+		sum += v
+		if v > max {
+			max = v
+		}
+	}
+	duration := now - statsStart
+	st := Stats{
+		Completed: len(rts),
+		MeanRT:    sum / float64(len(rts)),
+		P50RT:     rts[len(rts)/2],
+		P95RT:     rts[int(float64(len(rts))*0.95)],
+		MaxRT:     max,
+		Duration:  duration,
+	}
+	if duration > 0 {
+		st.MeanInSys = areaInSys / duration
+		st.Utilization = busy / (duration * float64(cfg.Capacity))
+	}
+	return st, nil
+}

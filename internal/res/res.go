@@ -1,0 +1,168 @@
+// Package res defines the resource primitives shared by every subsystem:
+// CPU power expressed in MHz and memory expressed in MB, plus small
+// helpers for safe arithmetic on them.
+//
+// The paper's controller reasons about CPU power as a fluid, finely
+// divisible quantity (MHz) while memory is a rigid, non-divisible
+// constraint (a VM either fits on a node or it does not). The two types
+// below make that asymmetry explicit in signatures throughout the code
+// base.
+package res
+
+import (
+	"fmt"
+	"math"
+)
+
+// CPU is an amount of CPU power in MHz. It is deliberately a float: the
+// placement controller allocates fractional processor shares, and the
+// fluid execution model advances job progress by CPU·seconds.
+type CPU float64
+
+// Memory is an amount of RAM in MB. Integral: memory is a rigid
+// constraint checked with exact arithmetic.
+type Memory int64
+
+// Common scale constants.
+const (
+	MHz CPU = 1
+	GHz CPU = 1000
+
+	MB Memory = 1
+	GB Memory = 1024
+)
+
+// String renders a CPU amount with a readable unit.
+func (c CPU) String() string {
+	switch {
+	case math.Abs(float64(c)) >= 1000:
+		return fmt.Sprintf("%.2fGHz", float64(c)/1000)
+	default:
+		return fmt.Sprintf("%.0fMHz", float64(c))
+	}
+}
+
+// String renders a memory amount with a readable unit.
+func (m Memory) String() string {
+	switch {
+	case m >= GB && m%GB == 0:
+		return fmt.Sprintf("%dGB", m/GB)
+	case m >= GB:
+		return fmt.Sprintf("%.1fGB", float64(m)/float64(GB))
+	default:
+		return fmt.Sprintf("%dMB", int64(m))
+	}
+}
+
+// IsZero reports whether the CPU amount is exactly zero.
+func (c CPU) IsZero() bool { return c == 0 }
+
+// Positive reports whether the CPU amount is strictly positive.
+func (c CPU) Positive() bool { return c > 0 }
+
+// Min returns the smaller of a and b.
+func Min(a, b CPU) CPU {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Max returns the larger of a and b.
+func Max(a, b CPU) CPU {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Clamp limits c to the inclusive range [lo, hi]. It panics if lo > hi:
+// that is a programming error at the call site, not a data condition.
+func Clamp(c, lo, hi CPU) CPU {
+	if lo > hi {
+		panic(fmt.Sprintf("res.Clamp: lo %v > hi %v", lo, hi))
+	}
+	if c < lo {
+		return lo
+	}
+	if c > hi {
+		return hi
+	}
+	return c
+}
+
+// MinMem returns the smaller of a and b.
+func MinMem(a, b Memory) Memory {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// MaxMem returns the larger of a and b.
+func MaxMem(a, b Memory) Memory {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// epsilon used by the approximate comparisons below. CPU quantities in
+// this code base are O(1e6) MHz at most, so 1e-6 relative precision is
+// far below any physically meaningful share.
+const cpuEps = 1e-6
+
+// AlmostEqual reports whether two CPU quantities are equal within a
+// relative tolerance (absolute for tiny values). Floating-point CPU
+// shares accumulate rounding through waterfilling and bisection;
+// comparisons anywhere outside tests should use this, not ==.
+func AlmostEqual(a, b CPU) bool {
+	diff := math.Abs(float64(a - b))
+	if diff <= cpuEps {
+		return true
+	}
+	scale := math.Max(math.Abs(float64(a)), math.Abs(float64(b)))
+	return diff <= scale*cpuEps
+}
+
+// AtLeast reports whether a >= b, tolerating floating-point noise.
+func AtLeast(a, b CPU) bool { return a >= b || AlmostEqual(a, b) }
+
+// AtMost reports whether a <= b, tolerating floating-point noise.
+func AtMost(a, b CPU) bool { return a <= b || AlmostEqual(a, b) }
+
+// Work is an amount of computational work in MHz·seconds: the fluid
+// execution model advances a job's completed Work by allocation×Δt.
+type Work float64
+
+// WorkFor returns the work performed by an allocation of c MHz sustained
+// for sec seconds.
+func WorkFor(c CPU, sec float64) Work {
+	if sec < 0 {
+		panic(fmt.Sprintf("res.WorkFor: negative duration %v", sec))
+	}
+	return Work(float64(c) * sec)
+}
+
+// Seconds returns how long an allocation of c MHz needs to produce w
+// work. It returns +Inf when c is zero (progress stalls) and panics on a
+// negative allocation.
+func (w Work) Seconds(c CPU) float64 {
+	if c < 0 {
+		panic(fmt.Sprintf("res.Work.Seconds: negative CPU %v", c))
+	}
+	if c == 0 {
+		return math.Inf(1)
+	}
+	return float64(w) / float64(c)
+}
+
+// String renders work in readable units.
+func (w Work) String() string {
+	switch {
+	case math.Abs(float64(w)) >= 1e6:
+		return fmt.Sprintf("%.2fGHz·s", float64(w)/1e6*1000/1000)
+	default:
+		return fmt.Sprintf("%.0fMHz·s", float64(w))
+	}
+}

@@ -1,0 +1,53 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkScheduleAndFire measures raw event throughput: schedule and
+// fire one event per iteration against a warm queue.
+func BenchmarkScheduleAndFire(b *testing.B) {
+	for _, depth := range []int{10, 1000} {
+		b.Run(fmt.Sprintf("queueDepth=%d", depth), func(b *testing.B) {
+			e := New()
+			noop := func(Time) {}
+			for i := 0; i < depth; i++ {
+				e.At(Time(1e12+float64(i)), "warm", noop)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e.At(e.Now()+1, "bench", noop)
+				e.Step()
+			}
+		})
+	}
+}
+
+// BenchmarkCancel measures cancellation cost inside a populated queue.
+func BenchmarkCancel(b *testing.B) {
+	e := New()
+	noop := func(Time) {}
+	for i := 0; i < 1000; i++ {
+		e.At(Time(1e12+float64(i)), "warm", noop)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev := e.At(Time(5e11), "victim", noop)
+		e.Cancel(ev)
+	}
+}
+
+// BenchmarkPeriodicTicks measures a periodic task's steady-state cost.
+func BenchmarkPeriodicTicks(b *testing.B) {
+	e := New()
+	ticks := 0
+	e.Periodic(0, 1, "tick", func(Time) { ticks++ })
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Step()
+	}
+	if ticks == 0 {
+		b.Fatal("no ticks")
+	}
+}

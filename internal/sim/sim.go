@@ -1,0 +1,244 @@
+// Package sim implements the discrete-event simulation core that every
+// experiment runs on: a virtual clock, a binary-heap event queue with
+// stable FIFO ordering for simultaneous events, cancellable events, and
+// periodic tasks (the paper's 600-second control cycle is one).
+//
+// The engine is strictly single-threaded: handlers run on the caller's
+// goroutine in non-decreasing time order. Determinism comes from the
+// stable tie-break — two events scheduled for the same instant fire in
+// scheduling order — so a simulation is a pure function of its inputs
+// and RNG seed.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Time is simulated time in seconds since the start of the run.
+type Time float64
+
+// Infinity is a time later than any schedulable event.
+const Infinity Time = Time(math.MaxFloat64)
+
+// String renders the time as seconds with millisecond precision.
+func (t Time) String() string { return fmt.Sprintf("%.3fs", float64(t)) }
+
+// Handler is a callback invoked when an event fires. The engine passes
+// itself so handlers can schedule follow-up events.
+type Handler func(now Time)
+
+// Event is a scheduled occurrence. Obtain events from Engine.At/After;
+// the zero value is meaningless.
+type Event struct {
+	when    Time
+	seq     uint64 // tie-break: FIFO among simultaneous events
+	index   int    // heap index, -1 when not queued
+	fire    Handler
+	label   string
+	dropped bool
+}
+
+// When returns the time the event is scheduled for.
+func (e *Event) When() Time { return e.when }
+
+// Label returns the diagnostic label given at scheduling time.
+func (e *Event) Label() string { return e.label }
+
+// Cancelled reports whether the event was cancelled before firing.
+func (e *Event) Cancelled() bool { return e.dropped }
+
+// eventQueue is a min-heap on (when, seq).
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].when != q[j].when {
+		return q[i].when < q[j].when
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+func (q *eventQueue) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*q)
+	*q = append(*q, e)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*q = old[:n-1]
+	return e
+}
+
+// Tracer receives a record of every fired event; used by tests and the
+// -trace flag of the simulator binary. A nil tracer is silent.
+type Tracer interface {
+	Fired(now Time, label string)
+}
+
+// TracerFunc adapts a function to the Tracer interface.
+type TracerFunc func(now Time, label string)
+
+// Fired implements Tracer.
+func (f TracerFunc) Fired(now Time, label string) { f(now, label) }
+
+// Engine is the simulation scheduler. The zero value is ready to use.
+type Engine struct {
+	now     Time
+	queue   eventQueue
+	seq     uint64
+	fired   uint64
+	tracer  Tracer
+	stopped bool
+}
+
+// New returns a fresh engine at time zero.
+func New() *Engine { return &Engine{} }
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// Fired returns the number of events executed so far.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Pending returns the number of events still queued.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// SetTracer installs a tracer for fired events (nil disables tracing).
+func (e *Engine) SetTracer(t Tracer) { e.tracer = t }
+
+// At schedules h to run at absolute time when. Scheduling in the past
+// panics: it indicates a logic error that would silently corrupt
+// causality if allowed.
+func (e *Engine) At(when Time, label string, h Handler) *Event {
+	if when < e.now {
+		panic(fmt.Sprintf("sim: scheduling %q at %v before now %v", label, when, e.now))
+	}
+	if h == nil {
+		panic("sim: nil handler for " + label)
+	}
+	ev := &Event{when: when, seq: e.seq, fire: h, label: label, index: -1}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// After schedules h to run delay seconds from now.
+func (e *Engine) After(delay float64, label string, h Handler) *Event {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v for %q", delay, label))
+	}
+	return e.At(e.now+Time(delay), label, h)
+}
+
+// Cancel removes a queued event. Cancelling an already-fired or
+// already-cancelled event is a no-op and returns false.
+func (e *Engine) Cancel(ev *Event) bool {
+	if ev == nil || ev.index < 0 || ev.dropped {
+		return false
+	}
+	ev.dropped = true
+	heap.Remove(&e.queue, ev.index)
+	return true
+}
+
+// Reschedule moves a queued event to a new time, preserving its handler.
+// If the event already fired or was cancelled it returns false.
+func (e *Engine) Reschedule(ev *Event, when Time) bool {
+	if ev == nil || ev.index < 0 || ev.dropped {
+		return false
+	}
+	if when < e.now {
+		panic(fmt.Sprintf("sim: rescheduling %q at %v before now %v", ev.label, when, e.now))
+	}
+	ev.when = when
+	ev.seq = e.seq
+	e.seq++
+	heap.Fix(&e.queue, ev.index)
+	return true
+}
+
+// Stop makes the current Run call return after the in-flight handler.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Step fires the single earliest event. It returns false when the queue
+// is empty.
+func (e *Engine) Step() bool {
+	if len(e.queue) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.queue).(*Event)
+	e.now = ev.when
+	e.fired++
+	if e.tracer != nil {
+		e.tracer.Fired(e.now, ev.label)
+	}
+	ev.fire(e.now)
+	return true
+}
+
+// RunUntil fires events in order until the queue drains, Stop is called,
+// or the next event is later than horizon. The clock ends at
+// min(horizon, last fired event); it advances to horizon if events ran
+// dry first so periodic observers see a full window.
+func (e *Engine) RunUntil(horizon Time) {
+	if horizon < e.now {
+		panic(fmt.Sprintf("sim: horizon %v before now %v", horizon, e.now))
+	}
+	e.stopped = false
+	for !e.stopped {
+		if len(e.queue) == 0 {
+			break
+		}
+		next := e.queue[0]
+		if next.when > horizon {
+			break
+		}
+		e.Step()
+	}
+	if e.now < horizon && !e.stopped {
+		e.now = horizon
+	}
+}
+
+// Run fires events until the queue drains or Stop is called.
+func (e *Engine) Run() {
+	e.stopped = false
+	for !e.stopped && e.Step() {
+	}
+}
+
+// Periodic invokes h every period seconds starting at start, until the
+// returned cancel function is called or the run ends. The handler runs
+// with the tick's timestamp. Period must be positive.
+func (e *Engine) Periodic(start Time, period float64, label string, h Handler) (cancel func()) {
+	if period <= 0 {
+		panic(fmt.Sprintf("sim: non-positive period %v for %q", period, label))
+	}
+	stopped := false
+	var ev *Event
+	var tick Handler
+	tick = func(now Time) {
+		if stopped {
+			return
+		}
+		h(now)
+		if !stopped { // h may have cancelled us
+			ev = e.At(now+Time(period), label, tick)
+		}
+	}
+	ev = e.At(start, label, tick)
+	return func() {
+		stopped = true
+		e.Cancel(ev)
+	}
+}

@@ -1,0 +1,233 @@
+package trace
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"slaplace/internal/cluster"
+	"slaplace/internal/res"
+	"slaplace/internal/rng"
+	"slaplace/internal/sim"
+	"slaplace/internal/vm"
+	"slaplace/internal/workload/batch"
+)
+
+func baseClass() batch.Class {
+	return batch.Class{
+		Name:        "batch",
+		Work:        res.Work(4500 * 1000),
+		MaxSpeed:    4500,
+		Mem:         5000,
+		GoalStretch: 3,
+	}
+}
+
+func sampleRecords() []JobRecord {
+	return []JobRecord{
+		{ID: "a", Submit: 100, Work: 4500 * 1000, MaxSpeed: 4500, Mem: 5000, Goal: 4000, Class: "batch"},
+		{ID: "b", Submit: 50, Work: 9000 * 500, MaxSpeed: 4500, Mem: 4000, Goal: 0, Class: "gold"},
+		{ID: "c", Submit: 300, Work: 4500 * 2000, MaxSpeed: 2250, Mem: 6000, Goal: 9000, Class: "batch"},
+	}
+}
+
+func TestJobRoundTrip(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteJobs(&sb, sampleRecords()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJobs(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("round trip lost records: %d", len(got))
+	}
+	// WriteJobs sorts by submit time.
+	if got[0].ID != "b" || got[1].ID != "a" || got[2].ID != "c" {
+		t.Errorf("order after round trip: %v %v %v", got[0].ID, got[1].ID, got[2].ID)
+	}
+	if got[1].Work != 4500*1000 || got[1].Goal != 4000 || got[1].Class != "batch" {
+		t.Errorf("record fields corrupted: %+v", got[1])
+	}
+	if got[2].MaxSpeed != 2250 || got[2].Mem != 6000 {
+		t.Errorf("record fields corrupted: %+v", got[2])
+	}
+}
+
+func TestReadJobsRejectsGarbage(t *testing.T) {
+	cases := []string{
+		"",      // no header
+		"x,y\n", // wrong header
+		"id,submit,work,maxspeed,mem,goal,class\na,-5,1,1,1,0,c\n",  // negative submit
+		"id,submit,work,maxspeed,mem,goal,class\na,1,zzz,1,1,0,c\n", // bad float
+		"id,submit,work,maxspeed,mem,goal,class\n,1,1,1,1,0,c\n",    // empty id
+	}
+	for i, in := range cases {
+		if _, err := ReadJobs(strings.NewReader(in)); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestWriteJobsValidates(t *testing.T) {
+	var sb strings.Builder
+	bad := []JobRecord{{ID: "", Submit: 1, Work: 1, MaxSpeed: 1, Mem: 1}}
+	if err := WriteJobs(&sb, bad); err == nil {
+		t.Error("invalid record written")
+	}
+}
+
+func TestSynthesizeMatchesGeneratorStatistics(t *testing.T) {
+	src := rng.NewSource(42)
+	recs, err := Synthesize(src.Stream("syn"), baseClass(),
+		[]batch.Phase{{Start: 0, MeanInterarrival: 260}}, 400, "job")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 400 {
+		t.Fatalf("synthesized %d records", len(recs))
+	}
+	var sum float64
+	prev := 0.0
+	for _, r := range recs {
+		if r.Submit < prev {
+			t.Fatal("records out of order")
+		}
+		sum += r.Submit - prev
+		prev = r.Submit
+	}
+	mean := sum / float64(len(recs))
+	if math.Abs(mean-260)/260 > 0.15 {
+		t.Errorf("mean inter-arrival %v, want ≈260", mean)
+	}
+	// Goals derived from stretch.
+	r0 := recs[0]
+	wantGoal := r0.Submit + 3*1000
+	if math.Abs(r0.Goal-wantGoal) > 1e-9 {
+		t.Errorf("goal %v, want %v", r0.Goal, wantGoal)
+	}
+}
+
+func TestSynthesizePhaseChange(t *testing.T) {
+	src := rng.NewSource(7)
+	recs, err := Synthesize(src.Stream("syn"), baseClass(),
+		[]batch.Phase{
+			{Start: 0, MeanInterarrival: 100},
+			{Start: 20000, DisableSubmission: true},
+		}, 1000, "job")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs {
+		if r.Submit > 20000 {
+			t.Fatalf("submission after disabled phase: %v", r.Submit)
+		}
+	}
+	if len(recs) < 150 || len(recs) >= 1000 {
+		t.Errorf("got %d records, want ≈200 then cut off", len(recs))
+	}
+}
+
+func TestSynthesizeValidation(t *testing.T) {
+	src := rng.NewSource(1)
+	if _, err := Synthesize(src.Stream("x"), batch.Class{}, nil, 10, ""); err == nil {
+		t.Error("invalid class accepted")
+	}
+	if _, err := Synthesize(src.Stream("x"), baseClass(), nil, 10, ""); err == nil {
+		t.Error("no phases accepted")
+	}
+	if _, err := Synthesize(src.Stream("x"), baseClass(),
+		[]batch.Phase{{Start: 0, MeanInterarrival: 1}}, 0, ""); err == nil {
+		t.Error("zero count accepted")
+	}
+}
+
+func TestReplayerSubmitsAtExactTimes(t *testing.T) {
+	eng := sim.New()
+	cl := cluster.Uniform(2, 18000, 16000)
+	mgr := vm.NewManager(eng, cl, vm.Costs{})
+	rt := batch.NewRuntime(eng, mgr)
+
+	rep, err := NewReplayer(rt, eng, sampleRecords(), baseClass())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Count() != 3 {
+		t.Errorf("Count = %d", rep.Count())
+	}
+	rep.Start()
+	eng.RunUntil(1000)
+	jobs := rt.Jobs()
+	if len(jobs) != 3 {
+		t.Fatalf("replayed %d jobs", len(jobs))
+	}
+	// Submission order by time: b (50), a (100), c (300).
+	if jobs[0].ID() != "b" || jobs[0].Submitted() != 50 {
+		t.Errorf("first job %v at %v", jobs[0].ID(), jobs[0].Submitted())
+	}
+	// Explicit goal respected; zero goal derived from base stretch.
+	a, _ := rt.Job("a")
+	if a.Goal() != 4000 {
+		t.Errorf("explicit goal %v", a.Goal())
+	}
+	b, _ := rt.Job("b")
+	wantGoal := 50 + 3*res.Work(9000*500).Seconds(4500)
+	if math.Abs(b.Goal()-wantGoal) > 1e-9 {
+		t.Errorf("derived goal %v, want %v", b.Goal(), wantGoal)
+	}
+	// Per-record class name propagates.
+	if b.Class().Name != "gold" {
+		t.Errorf("class %q", b.Class().Name)
+	}
+}
+
+func TestReplayerRejectsDuplicates(t *testing.T) {
+	eng := sim.New()
+	cl := cluster.Uniform(1, 18000, 16000)
+	mgr := vm.NewManager(eng, cl, vm.Costs{})
+	rt := batch.NewRuntime(eng, mgr)
+	recs := []JobRecord{
+		{ID: "dup", Submit: 1, Work: 1, MaxSpeed: 1, Mem: 1},
+		{ID: "dup", Submit: 2, Work: 1, MaxSpeed: 1, Mem: 1},
+	}
+	if _, err := NewReplayer(rt, eng, recs, baseClass()); err == nil {
+		t.Error("duplicate IDs accepted")
+	}
+}
+
+func TestRateRoundTrip(t *testing.T) {
+	var sb strings.Builder
+	pattern, err := ReadRates(strings.NewReader("t,rate\n0,65\n3600,80\n7200,40\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := pattern.Lambda(1800); math.Abs(got-72.5) > 1e-9 {
+		t.Errorf("interpolated rate %v, want 72.5", got)
+	}
+	if err := WriteRates(&sb, pattern, 0, 7200, 3600); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadRates(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := back.Lambda(3600); math.Abs(got-80) > 1e-9 {
+		t.Errorf("rate after round trip %v", got)
+	}
+}
+
+func TestReadRatesRejectsGarbage(t *testing.T) {
+	for i, in := range []string{"", "a,b\n", "t,rate\nxx,1\n", "t,rate\n1,yy\n"} {
+		if _, err := ReadRates(strings.NewReader(in)); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestWriteRatesValidation(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteRates(&sb, nil, 0, 100, 0); err == nil {
+		t.Error("zero step accepted")
+	}
+}

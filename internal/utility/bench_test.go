@@ -1,0 +1,58 @@
+package utility
+
+import (
+	"fmt"
+	"testing"
+
+	"slaplace/internal/queueing"
+	"slaplace/internal/res"
+)
+
+// BenchmarkJobCurveDemandFor measures the per-curve inversion on the
+// equalizer's hot path.
+func BenchmarkJobCurveDemandFor(b *testing.B) {
+	c := NewJobCurve("j", 1000, res.Work(4500*15000), 4500, 50000, nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = c.DemandFor(0.5)
+	}
+}
+
+// BenchmarkTransCurveDemandFor measures the queueing-model inversion.
+func BenchmarkTransCurveDemandFor(b *testing.B) {
+	m, err := queueing.NewMG1PS(1350, 4500)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c := NewTransCurve("web", 65, 3.0, m, nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = c.DemandFor(0.5)
+	}
+}
+
+// BenchmarkEqualizeMixed measures full equalization over a mixed
+// population like a paper-scenario control cycle.
+func BenchmarkEqualizeMixed(b *testing.B) {
+	m, err := queueing.NewMG1PS(1350, 4500)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, nJobs := range []int{100, 400} {
+		b.Run(fmt.Sprintf("jobs=%d", nJobs), func(b *testing.B) {
+			curves := make([]Curve, 0, nJobs+1)
+			curves = append(curves, NewTransCurve("web", 65, 3.0, m, nil))
+			for i := 0; i < nJobs; i++ {
+				curves = append(curves, NewJobCurve(fmt.Sprintf("j%d", i), 0,
+					res.Work(4500*float64(5000+i*37%20000)), 4500, float64(30000+i*211%40000), nil))
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r := Equalize(curves, 450000)
+				if r.Allocated <= 0 {
+					b.Fatal("no allocation")
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,207 @@
+// Package utility implements the paper's mechanism for making
+// heterogeneous workloads comparable: monotonic, continuous utility
+// functions over *relative performance*, per-workload resource→utility
+// curves built on those functions, and the equalizer that computes the
+// "hypothetical utility" allocation — the fixed point of continuously
+// stealing CPU from more-satisfied workloads and giving it to
+// less-satisfied ones.
+//
+// Relative performance p is a dimensionless score in (-∞, 1]:
+//
+//	transactional app:  p = (τ − RT) / τ          (τ = response-time goal)
+//	long-running job:   p = (G − ct) / (G − ctmin) (G = completion goal,
+//	                    ct = projected completion, ctmin = completion at
+//	                    full speed from now)
+//
+// p = 1 means performing as well as physically possible, p = 0 means
+// exactly on goal, p < 0 means violating the goal. A utility Function
+// maps p to utility; the same Function semantics serve both workload
+// types, which is precisely what lets one optimizer trade them off.
+package utility
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Function maps relative performance to utility. Implementations must
+// be monotone non-decreasing, continuous, and bounded above by Eval(1).
+type Function interface {
+	// Eval returns the utility of relative performance p.
+	Eval(p float64) float64
+	// Invert returns the smallest p achieving utility at least u,
+	// -Inf when every p qualifies, +Inf when no p does.
+	Invert(u float64) float64
+	// Name identifies the function for logs and serialized configs.
+	Name() string
+}
+
+// Linear is the identity utility clamped to [Floor, 1]. The negative
+// floor keeps late workloads *ordered* (later ⇒ lower utility) instead
+// of collapsing them all to zero, which the equalizer relies on to
+// prioritize the most-starved work first. The paper's figures plot the
+// [0, 1] portion.
+type Linear struct {
+	// Floor is the lowest utility value; must be < 1. The default
+	// (via DefaultFunction) is -1.
+	Floor float64
+}
+
+var _ Function = Linear{}
+
+// DefaultFunction returns the utility function used throughout the
+// reproduction unless a scenario overrides it.
+func DefaultFunction() Function { return Linear{Floor: -1} }
+
+// Eval implements Function.
+func (l Linear) Eval(p float64) float64 {
+	if p < l.Floor {
+		return l.Floor
+	}
+	if p > 1 {
+		return 1
+	}
+	return p
+}
+
+// Invert implements Function.
+func (l Linear) Invert(u float64) float64 {
+	if u <= l.Floor {
+		return math.Inf(-1)
+	}
+	if u > 1 {
+		return math.Inf(1)
+	}
+	return u
+}
+
+// Name implements Function.
+func (l Linear) Name() string { return fmt.Sprintf("linear[%g,1]", l.Floor) }
+
+// Sigmoid is a normalized S-shaped utility on p: steep around p = 0.5,
+// flat near the extremes — it expresses "meeting the goal comfortably
+// matters much more than beating it". Eval(0) = 0, Eval(1) = 1; p < 0
+// clamps to 0.
+type Sigmoid struct {
+	// K is the steepness; must be > 0. K→0 approaches linear.
+	K float64
+}
+
+var _ Function = Sigmoid{}
+
+// Eval implements Function.
+func (s Sigmoid) Eval(p float64) float64 {
+	k := s.k()
+	if p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return 1
+	}
+	d := math.Tanh(k / 2)
+	return (math.Tanh(k*(p-0.5)) + d) / (2 * d)
+}
+
+// Invert implements Function.
+func (s Sigmoid) Invert(u float64) float64 {
+	k := s.k()
+	if u <= 0 {
+		return math.Inf(-1)
+	}
+	if u > 1 {
+		return math.Inf(1)
+	}
+	if u == 1 {
+		return 1
+	}
+	d := math.Tanh(k / 2)
+	return 0.5 + math.Atanh(u*2*d-d)/k
+}
+
+func (s Sigmoid) k() float64 {
+	if s.K <= 0 {
+		panic(fmt.Sprintf("utility: Sigmoid with non-positive steepness %v", s.K))
+	}
+	return s.K
+}
+
+// Name implements Function.
+func (s Sigmoid) Name() string { return fmt.Sprintf("sigmoid[k=%g]", s.K) }
+
+// Point is a (performance, utility) breakpoint of a piecewise-linear
+// utility function.
+type Point struct {
+	P, U float64
+}
+
+// Piecewise is a piecewise-linear utility through the given breakpoints,
+// clamped flat outside them. Construct with NewPiecewise, which
+// validates monotonicity.
+type Piecewise struct {
+	pts []Point
+}
+
+var _ Function = (*Piecewise)(nil)
+
+// NewPiecewise builds a piecewise-linear utility function. Points must
+// be strictly increasing in P and non-decreasing in U, with at least
+// two points.
+func NewPiecewise(pts []Point) (*Piecewise, error) {
+	if len(pts) < 2 {
+		return nil, fmt.Errorf("utility: piecewise needs >= 2 points, got %d", len(pts))
+	}
+	sorted := append([]Point(nil), pts...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].P < sorted[j].P })
+	for i := 1; i < len(sorted); i++ {
+		if sorted[i].P == sorted[i-1].P {
+			return nil, fmt.Errorf("utility: duplicate breakpoint p=%v", sorted[i].P)
+		}
+		if sorted[i].U < sorted[i-1].U {
+			return nil, fmt.Errorf("utility: non-monotone utility at p=%v", sorted[i].P)
+		}
+	}
+	return &Piecewise{pts: sorted}, nil
+}
+
+// Eval implements Function.
+func (pw *Piecewise) Eval(p float64) float64 {
+	pts := pw.pts
+	if p <= pts[0].P {
+		return pts[0].U
+	}
+	last := pts[len(pts)-1]
+	if p >= last.P {
+		return last.U
+	}
+	i := sort.Search(len(pts), func(i int) bool { return pts[i].P > p }) - 1
+	a, b := pts[i], pts[i+1]
+	t := (p - a.P) / (b.P - a.P)
+	return a.U + t*(b.U-a.U)
+}
+
+// Invert implements Function.
+func (pw *Piecewise) Invert(u float64) float64 {
+	pts := pw.pts
+	if u <= pts[0].U {
+		return math.Inf(-1)
+	}
+	last := pts[len(pts)-1]
+	if u > last.U {
+		return math.Inf(1)
+	}
+	for i := 1; i < len(pts); i++ {
+		if u <= pts[i].U {
+			a, b := pts[i-1], pts[i]
+			if b.U == a.U { // flat segment; smallest p past it
+				continue
+			}
+			t := (u - a.U) / (b.U - a.U)
+			return a.P + t*(b.P-a.P)
+		}
+	}
+	return last.P
+}
+
+// Name implements Function.
+func (pw *Piecewise) Name() string { return fmt.Sprintf("piecewise[%d pts]", len(pw.pts)) }

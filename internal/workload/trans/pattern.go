@@ -1,0 +1,161 @@
+// Package trans models the paper's transactional workload: clustered
+// web applications with Poisson request arrivals, a response-time SLA,
+// and horizontally placed instances whose CPU shares the controller
+// tunes. The package supplies what the paper's profiler supplied — an
+// arrival-rate signal and measured response times — and what its
+// middleware supplied — instance add/remove/reshare actuation.
+package trans
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// LoadPattern is a deterministic arrival-rate signal λ(t) in requests
+// per second. Observation noise is layered on elsewhere; patterns are
+// exact so experiments stay reproducible.
+type LoadPattern interface {
+	// Lambda returns the arrival rate at absolute time t (req/s, >= 0).
+	Lambda(t float64) float64
+	// Name identifies the pattern in configs and logs.
+	Name() string
+}
+
+// Constant is a flat arrival rate — the paper's evaluation drives its
+// transactional application with a constant workload.
+type Constant struct {
+	Rate float64
+}
+
+var _ LoadPattern = Constant{}
+
+// Lambda implements LoadPattern.
+func (c Constant) Lambda(float64) float64 {
+	if c.Rate < 0 {
+		panic(fmt.Sprintf("trans: negative constant rate %v", c.Rate))
+	}
+	return c.Rate
+}
+
+// Name implements LoadPattern.
+func (c Constant) Name() string { return fmt.Sprintf("constant[%g/s]", c.Rate) }
+
+// Step changes rate at fixed times: Rates[i] applies from Times[i]
+// until Times[i+1]. Times must be ascending; Rates[0] applies before
+// Times[0] as well.
+type Step struct {
+	Times []float64
+	Rates []float64
+}
+
+var _ LoadPattern = Step{}
+
+// NewStep validates and builds a step pattern.
+func NewStep(times, rates []float64) (Step, error) {
+	if len(times) == 0 || len(times) != len(rates) {
+		return Step{}, fmt.Errorf("trans: step needs equal-length non-empty times/rates, got %d/%d",
+			len(times), len(rates))
+	}
+	if !sort.Float64sAreSorted(times) {
+		return Step{}, fmt.Errorf("trans: step times not ascending")
+	}
+	for i, r := range rates {
+		if r < 0 {
+			return Step{}, fmt.Errorf("trans: step rate %d negative (%v)", i, r)
+		}
+	}
+	return Step{Times: times, Rates: rates}, nil
+}
+
+// Lambda implements LoadPattern.
+func (s Step) Lambda(t float64) float64 {
+	idx := sort.SearchFloat64s(s.Times, t)
+	// idx is the first time > t-ish; we want the last step <= t.
+	if idx < len(s.Times) && s.Times[idx] == t {
+		return s.Rates[idx]
+	}
+	if idx == 0 {
+		return s.Rates[0]
+	}
+	return s.Rates[idx-1]
+}
+
+// Name implements LoadPattern.
+func (s Step) Name() string { return fmt.Sprintf("step[%d segments]", len(s.Times)) }
+
+// Diurnal is a day/night sinusoid: Base + Amplitude·sin(2π(t+Phase)/Period),
+// clamped at zero. Standard stand-in for production web traffic.
+type Diurnal struct {
+	Base      float64
+	Amplitude float64
+	Period    float64 // seconds; e.g. 86400
+	Phase     float64 // seconds of offset
+}
+
+var _ LoadPattern = Diurnal{}
+
+// Lambda implements LoadPattern.
+func (d Diurnal) Lambda(t float64) float64 {
+	if d.Period <= 0 {
+		panic(fmt.Sprintf("trans: diurnal period %v <= 0", d.Period))
+	}
+	v := d.Base + d.Amplitude*math.Sin(2*math.Pi*(t+d.Phase)/d.Period)
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// Name implements LoadPattern.
+func (d Diurnal) Name() string {
+	return fmt.Sprintf("diurnal[base=%g,amp=%g,period=%gs]", d.Base, d.Amplitude, d.Period)
+}
+
+// Trace interpolates linearly through (time, rate) samples — used to
+// replay recorded traffic shapes. Outside the sampled range the edge
+// values hold.
+type Trace struct {
+	times []float64
+	rates []float64
+}
+
+var _ LoadPattern = (*Trace)(nil)
+
+// NewTrace validates and builds a trace pattern.
+func NewTrace(times, rates []float64) (*Trace, error) {
+	if len(times) < 2 || len(times) != len(rates) {
+		return nil, fmt.Errorf("trans: trace needs >= 2 equal-length samples, got %d/%d",
+			len(times), len(rates))
+	}
+	for i := 1; i < len(times); i++ {
+		if times[i] <= times[i-1] {
+			return nil, fmt.Errorf("trans: trace times not strictly ascending at %d", i)
+		}
+	}
+	for i, r := range rates {
+		if r < 0 {
+			return nil, fmt.Errorf("trans: trace rate %d negative (%v)", i, r)
+		}
+	}
+	return &Trace{times: append([]float64(nil), times...), rates: append([]float64(nil), rates...)}, nil
+}
+
+// Lambda implements LoadPattern.
+func (tr *Trace) Lambda(t float64) float64 {
+	if t <= tr.times[0] {
+		return tr.rates[0]
+	}
+	last := len(tr.times) - 1
+	if t >= tr.times[last] {
+		return tr.rates[last]
+	}
+	idx := sort.SearchFloat64s(tr.times, t)
+	// times[idx-1] < t <= times[idx]
+	a, b := idx-1, idx
+	frac := (t - tr.times[a]) / (tr.times[b] - tr.times[a])
+	return tr.rates[a] + frac*(tr.rates[b]-tr.rates[a])
+}
+
+// Name implements LoadPattern.
+func (tr *Trace) Name() string { return fmt.Sprintf("trace[%d samples]", len(tr.times)) }

@@ -1,0 +1,284 @@
+package trans
+
+import (
+	"math"
+	"testing"
+
+	"slaplace/internal/cluster"
+	"slaplace/internal/queueing"
+	"slaplace/internal/res"
+	"slaplace/internal/rng"
+	"slaplace/internal/sim"
+	"slaplace/internal/vm"
+)
+
+func rig(t *testing.T) (*sim.Engine, *vm.Manager, *Runtime) {
+	t.Helper()
+	eng := sim.New()
+	cl := cluster.Uniform(4, 18000, 16000)
+	mgr := vm.NewManager(eng, cl, vm.Costs{}) // instant actuation
+	rt := NewRuntime(eng, mgr, rng.NewSource(1).Stream("noise"))
+	return eng, mgr, rt
+}
+
+func testConfig(t *testing.T) Config {
+	t.Helper()
+	m, err := queueing.NewMG1PS(1350, 4500) // S = 0.3 s
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Config{
+		ID:             "web",
+		RTGoal:         3.0,
+		Model:          m,
+		Pattern:        Constant{Rate: 100},
+		InstanceMem:    1000,
+		MaxPerInstance: 18000,
+		MinInstances:   1,
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	good := testConfig(t)
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	mutations := []func(*Config){
+		func(c *Config) { c.ID = "" },
+		func(c *Config) { c.RTGoal = 0 },
+		func(c *Config) { c.RTGoal = 0.1 }, // below model floor 0.3
+		func(c *Config) { c.Model = nil },
+		func(c *Config) { c.Pattern = nil },
+		func(c *Config) { c.InstanceMem = 0 },
+		func(c *Config) { c.MaxPerInstance = 0 },
+		func(c *Config) { c.MinInstances = -1 },
+		func(c *Config) { c.MinInstances = 5; c.MaxInstances = 2 },
+		func(c *Config) { c.NoiseCV = -0.1 },
+	}
+	for i, mutate := range mutations {
+		c := testConfig(t)
+		mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestDeployAndInstanceLifecycle(t *testing.T) {
+	eng, mgr, rt := rig(t)
+	app, err := rt.Deploy(testConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.Deploy(testConfig(t)); err == nil {
+		t.Error("duplicate deploy accepted")
+	}
+	if err := app.AddInstance("node-001", 9000); err != nil {
+		t.Fatalf("AddInstance: %v", err)
+	}
+	if err := app.AddInstance("node-001", 9000); err == nil {
+		t.Error("duplicate instance on one node accepted")
+	}
+	if err := app.AddInstance("node-002", 9000); err != nil {
+		t.Fatalf("second AddInstance: %v", err)
+	}
+	eng.RunUntil(100)
+	if got := app.InstanceCount(); got != 2 {
+		t.Errorf("InstanceCount = %d", got)
+	}
+	if got := app.TotalRate(); !res.AlmostEqual(got, 18000) {
+		t.Errorf("TotalRate = %v, want 18000", got)
+	}
+	if mgr.UsedMem("node-001") != 1000 {
+		t.Errorf("instance memory not reserved")
+	}
+	// Removing below MinInstances is refused.
+	if err := app.RemoveInstance("node-001"); err != nil {
+		t.Fatalf("RemoveInstance: %v", err)
+	}
+	if err := app.RemoveInstance("node-002"); err == nil {
+		t.Error("removal below MinInstances accepted")
+	}
+	if mgr.UsedMem("node-001") != 0 {
+		t.Errorf("removed instance left memory")
+	}
+}
+
+func TestMaxInstancesEnforced(t *testing.T) {
+	_, _, rt := rig(t)
+	cfg := testConfig(t)
+	cfg.MinInstances = 0
+	cfg.MaxInstances = 1
+	app, _ := rt.Deploy(cfg)
+	app.AddInstance("node-001", 100)
+	if err := app.AddInstance("node-002", 100); err == nil {
+		t.Error("instance beyond MaxInstances accepted")
+	}
+}
+
+func TestInstanceReAddAfterRemove(t *testing.T) {
+	eng, _, rt := rig(t)
+	cfg := testConfig(t)
+	cfg.MinInstances = 0
+	app, _ := rt.Deploy(cfg)
+	app.AddInstance("node-001", 100)
+	eng.RunUntil(10)
+	if err := app.RemoveInstance("node-001"); err != nil {
+		t.Fatal(err)
+	}
+	if err := app.AddInstance("node-001", 100); err != nil {
+		t.Errorf("re-adding instance on same node: %v", err)
+	}
+}
+
+func TestTrueRTMatchesFluidModel(t *testing.T) {
+	eng, _, rt := rig(t)
+	app, _ := rt.Deploy(testConfig(t))
+	app.AddInstance("node-001", 18000)
+	app.AddInstance("node-002", 18000)
+	app.AddInstance("node-003", 18000)
+	app.AddInstance("node-004", 18000)
+	eng.RunUntil(100)
+	// Total 72000 MHz; λd = 135000... unstable! Use share checks below
+	// at a stable operating point instead: set smaller lambda app.
+	cfg := testConfig(t)
+	cfg.ID = "web2"
+	cfg.Pattern = Constant{Rate: 40} // λ·d = 54000
+	app2, _ := rt.Deploy(cfg)
+	app2.AddInstance("node-001", 9000)
+	app2.AddInstance("node-002", 9000)
+	app2.AddInstance("node-003", 9000)
+	app2.AddInstance("node-004", 9000)
+	eng.RunUntil(200)
+	m, _ := queueing.NewMG1PS(1350, 4500)
+	want := m.ResponseTime(40, 36000)
+	if got := app2.TrueRT(200); math.Abs(got-want) > 1e-9 {
+		t.Errorf("TrueRT = %v, want %v", got, want)
+	}
+	// The overloaded app sees infinite RT.
+	if got := app.TrueRT(200); !math.IsInf(got, 1) {
+		t.Errorf("overloaded TrueRT = %v, want +Inf", got)
+	}
+}
+
+func TestObservedRTNoise(t *testing.T) {
+	eng, _, rt := rig(t)
+	cfg := testConfig(t)
+	cfg.NoiseCV = 0.05
+	cfg.Pattern = Constant{Rate: 40}
+	app, _ := rt.Deploy(cfg)
+	app.AddInstance("node-001", 18000)
+	app.AddInstance("node-002", 18000)
+	eng.RunUntil(100)
+	truth := app.TrueRT(100)
+	var sum, sumSq float64
+	const n = 2000
+	for i := 0; i < n; i++ {
+		v := app.ObservedRT(100)
+		if v <= 0 {
+			t.Fatalf("observed RT %v <= 0", v)
+		}
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	if math.Abs(mean-truth)/truth > 0.01 {
+		t.Errorf("noisy mean %v drifted from truth %v", mean, truth)
+	}
+	sd := math.Sqrt(sumSq/n - mean*mean)
+	cv := sd / mean
+	if cv < 0.03 || cv > 0.08 {
+		t.Errorf("observed CV = %v, want ≈0.05", cv)
+	}
+}
+
+func TestObservedRTExactWhenNoNoise(t *testing.T) {
+	eng, _, rt := rig(t)
+	cfg := testConfig(t)
+	cfg.Pattern = Constant{Rate: 40}
+	app, _ := rt.Deploy(cfg)
+	app.AddInstance("node-001", 18000)
+	eng.RunUntil(100)
+	if app.ObservedRT(100) != app.TrueRT(100) {
+		t.Error("noiseless observation differs from truth")
+	}
+}
+
+func TestMeasuredUtility(t *testing.T) {
+	_, _, rt := rig(t)
+	app, _ := rt.Deploy(testConfig(t))
+	if got := app.MeasuredUtility(3.0); got != 0 {
+		t.Errorf("utility at goal = %v, want 0", got)
+	}
+	if got := app.MeasuredUtility(0.3); math.Abs(got-0.9) > 1e-9 {
+		t.Errorf("utility at floor RT = %v, want 0.9", got)
+	}
+	if got := app.MeasuredUtility(math.Inf(1)); got != -1 {
+		t.Errorf("utility at +Inf RT = %v, want floor", got)
+	}
+}
+
+func TestCurveUsesCurrentLambda(t *testing.T) {
+	_, _, rt := rig(t)
+	cfg := testConfig(t)
+	step, _ := NewStep([]float64{0, 1000}, []float64{50, 200})
+	cfg.Pattern = step
+	app, _ := rt.Deploy(cfg)
+	before := app.Curve(500)
+	after := app.Curve(1500)
+	if before.Lambda() != 50 || after.Lambda() != 200 {
+		t.Errorf("curve lambdas = %v, %v", before.Lambda(), after.Lambda())
+	}
+	if after.MaxUseful() <= before.MaxUseful() {
+		t.Error("higher load should need more CPU for max utility")
+	}
+}
+
+func TestEvictionDropsInstance(t *testing.T) {
+	eng, mgr, rt := rig(t)
+	app, _ := rt.Deploy(testConfig(t))
+	app.AddInstance("node-001", 9000)
+	app.AddInstance("node-002", 9000)
+	eng.RunUntil(100)
+	mgr.ForceEvict("node-001")
+	if app.HasInstance("node-001") {
+		t.Error("evicted instance still tracked")
+	}
+	if !app.HasInstance("node-002") {
+		t.Error("surviving instance lost")
+	}
+	if mgr.UsedMem("node-001") != 0 {
+		t.Error("failed node retains memory")
+	}
+	// The app can later return to the recovered node.
+	if err := app.AddInstance("node-001", 9000); err != nil {
+		t.Errorf("re-add on recovered node: %v", err)
+	}
+}
+
+func TestSharesAndNodes(t *testing.T) {
+	eng, _, rt := rig(t)
+	app, _ := rt.Deploy(testConfig(t))
+	app.AddInstance("node-002", 5000)
+	app.AddInstance("node-001", 4000)
+	eng.RunUntil(10)
+	nodes := app.InstanceNodes()
+	if len(nodes) != 2 || nodes[0] != "node-001" || nodes[1] != "node-002" {
+		t.Errorf("InstanceNodes = %v, want sorted", nodes)
+	}
+	if got := app.InstanceShare("node-002"); got != 5000 {
+		t.Errorf("InstanceShare = %v", got)
+	}
+	if got := app.TotalShare(); got != 9000 {
+		t.Errorf("TotalShare = %v", got)
+	}
+	if err := app.SetInstanceShare("node-001", 6000); err != nil {
+		t.Fatal(err)
+	}
+	if got := app.TotalShare(); got != 11000 {
+		t.Errorf("TotalShare after reshare = %v", got)
+	}
+	if err := app.SetInstanceShare("node-004", 1); err == nil {
+		t.Error("reshare of absent instance accepted")
+	}
+}

@@ -1,0 +1,249 @@
+// Package slaplace reproduces "Managing SLAs of Heterogeneous
+// Workloads using Dynamic Application Placement" (Carrera, Steinder,
+// Whalley, Torres, Ayguadé — HPDC 2008): a placement controller that
+// collocates response-time-bound web applications and completion-time
+// -bound long-running jobs on one virtualized cluster, trading CPU
+// between them so that *utility* — not capacity — is equalized.
+//
+// The package is a facade over the internal implementation:
+//
+//   - workload modelling: job classes (batch work with speed caps,
+//     memory footprints and completion goals) and web applications
+//     (queueing-model-backed response-time SLAs, arrival patterns);
+//   - the utility framework: monotone utility functions over relative
+//     performance, per-workload resource→utility curves, and the
+//     hypothetical-utility equalizer;
+//   - the placement controller itself plus four baseline policies
+//     (static partitioning, FCFS, EDF, fair share);
+//   - a discrete-event datacenter simulator (nodes, VM lifecycle with
+//     suspend/resume/migration latencies, per-node share scheduling)
+//     standing in for the paper's physical testbed;
+//   - an experiment harness with the paper's 25-node / 800-job
+//     scenario and the extension scenarios, all bit-reproducible from
+//     a seed.
+//
+// Quick start:
+//
+//	result, err := slaplace.Run(slaplace.QuickScenario(42))
+//	if err != nil { ... }
+//	fmt.Println(slaplace.Summarize(result))
+//
+// To reproduce the paper's figures, run the paper scenario and export
+// the recorded series (see cmd/slaplace-figures):
+//
+//	result, _ := slaplace.Run(slaplace.PaperScenario(42))
+//	_ = result.Recorder.WriteWideCSV(w, slaplace.Fig1Series)
+package slaplace
+
+import (
+	"slaplace/internal/baseline"
+	"slaplace/internal/control"
+	"slaplace/internal/core"
+	"slaplace/internal/experiments"
+	"slaplace/internal/metrics"
+	"slaplace/internal/queueing"
+	"slaplace/internal/res"
+	"slaplace/internal/utility"
+	"slaplace/internal/vm"
+	"slaplace/internal/workload/batch"
+	"slaplace/internal/workload/trans"
+)
+
+// Resource units.
+type (
+	// CPU is CPU power in MHz.
+	CPU = res.CPU
+	// Memory is RAM in MB.
+	Memory = res.Memory
+	// Work is computation in MHz·seconds.
+	Work = res.Work
+)
+
+// Unit constants re-exported for configuration literals.
+const (
+	MHz = res.MHz
+	GHz = res.GHz
+	MB  = res.MB
+	GB  = res.GB
+)
+
+// Workload description types.
+type (
+	// JobClass describes a family of long-running jobs: total work,
+	// speed cap, memory footprint, and completion-time goal stretch.
+	JobClass = batch.Class
+	// ArrivalPhase is one segment of a job arrival process (from Start
+	// onward, exponential inter-arrivals with the given mean).
+	ArrivalPhase = batch.Phase
+	// WebApp describes a transactional application: queueing model,
+	// response-time goal, arrival pattern, instance shape.
+	WebApp = trans.Config
+	// LoadPattern drives a web application's arrival rate over time.
+	LoadPattern = trans.LoadPattern
+	// ConstantLoad is a flat arrival rate.
+	ConstantLoad = trans.Constant
+	// StepLoad switches rates at fixed times.
+	StepLoad = trans.Step
+	// DiurnalLoad is a day/night sinusoid.
+	DiurnalLoad = trans.Diurnal
+)
+
+// Performance models.
+type (
+	// QueueModel maps (arrival rate, allocation) to response time.
+	QueueModel = queueing.Model
+	// MG1PS is the fluid processor-sharing model with a per-core
+	// speed cap — the default transactional performance model.
+	MG1PS = queueing.MG1PS
+)
+
+// NewMG1PS builds the default queueing model: per-request demand in
+// MHz·seconds executing on cores of the given speed.
+func NewMG1PS(demandMHzs float64, coreSpeed CPU) (MG1PS, error) {
+	return queueing.NewMG1PS(demandMHzs, coreSpeed)
+}
+
+// Utility framework.
+type (
+	// UtilityFunction maps relative performance (-∞, 1] to utility.
+	UtilityFunction = utility.Function
+	// LinearUtility is the identity clamped to [Floor, 1] (default).
+	LinearUtility = utility.Linear
+	// SigmoidUtility is an S-shaped utility.
+	SigmoidUtility = utility.Sigmoid
+)
+
+// Controller types.
+type (
+	// Controller plans placements from cluster state snapshots.
+	Controller = core.Controller
+	// ControllerConfig tunes the utility-driven placement controller.
+	ControllerConfig = core.Config
+)
+
+// NewController builds the paper's utility-driven placement controller.
+func NewController(cfg ControllerConfig) Controller { return core.New(cfg) }
+
+// DefaultControllerConfig returns the configuration used by the
+// paper-scenario experiments.
+func DefaultControllerConfig() ControllerConfig { return core.DefaultConfig() }
+
+// Baseline controllers for comparison studies.
+var (
+	// FCFS places jobs in arrival order at full speed, no preemption.
+	FCFS Controller = baseline.FCFS{}
+	// EDF places earliest-completion-goal jobs first with preemption.
+	EDF Controller = baseline.EDF{}
+	// FairShare splits capacity equally per workload entity.
+	FairShare Controller = baseline.FairShare{}
+)
+
+// StaticPartition dedicates the given fraction of nodes to jobs and
+// the rest to web applications — the static consolidation prior art.
+func StaticPartition(batchFraction float64) Controller {
+	return baseline.Static{BatchFraction: batchFraction}
+}
+
+// Scenario machinery.
+type (
+	// Scenario is a complete experiment description.
+	Scenario = experiments.Scenario
+	// JobStream configures one job arrival process in a scenario.
+	JobStream = experiments.JobStream
+	// NodeFault schedules a node failure during a run.
+	NodeFault = experiments.NodeFault
+	// NodeSpec describes one group of identical nodes in a
+	// heterogeneous cluster.
+	NodeSpec = experiments.NodeSpec
+	// Result is a finished run's outcome.
+	Result = experiments.Result
+	// ClassStats aggregates completed-job outcomes per class.
+	ClassStats = experiments.ClassStats
+	// LoopOptions tunes the control loop (cycle period etc.).
+	LoopOptions = control.Options
+	// VMCosts parameterizes actuation latencies (boot, suspend,
+	// resume, migration bandwidth).
+	VMCosts = vm.Costs
+	// Recorder collects the time series a run reports.
+	Recorder = metrics.Recorder
+	// Series is one recorded time series.
+	Series = metrics.Series
+	// JobOutcome records one finished job's result.
+	JobOutcome = experiments.JobOutcome
+	// SweepPoint is one sensitivity-sweep configuration's outcome.
+	SweepPoint = experiments.SweepPoint
+)
+
+// WriteJobOutcomes exports per-job results as CSV.
+func WriteJobOutcomes(w Writer, outcomes []JobOutcome) error {
+	return experiments.WriteJobOutcomes(w, outcomes)
+}
+
+// Sensitivity sweeps (see cmd/slaplace-sweep).
+var (
+	// CycleSweep varies the control-cycle period.
+	CycleSweep = experiments.CycleSweep
+	// UtilityFnSweep varies the utility-function shape.
+	UtilityFnSweep = experiments.UtilityFnSweep
+	// LoadSweep scales the transactional arrival rate.
+	LoadSweep = experiments.LoadSweep
+	// EvictionMarginSweep varies the suspension hysteresis.
+	EvictionMarginSweep = experiments.EvictionMarginSweep
+	// MaxMinUtility reads the max-min objective off a finished run.
+	MaxMinUtility = experiments.MaxMinUtility
+)
+
+// DefaultVMCosts returns 2008-era virtualization latencies.
+func DefaultVMCosts() VMCosts { return vm.DefaultCosts() }
+
+// DefaultLoopOptions returns the paper's 600-second control cycle.
+func DefaultLoopOptions() LoopOptions { return control.DefaultOptions() }
+
+// Run executes a scenario to its horizon and returns the results.
+func Run(sc Scenario) (*Result, error) { return experiments.Run(sc) }
+
+// Summarize renders a one-line textual result summary.
+func Summarize(r *Result) string { return experiments.SummarizeResult(r) }
+
+// Canned scenarios.
+var (
+	// PaperScenario is the 25-node / 800-job experiment behind the
+	// paper's Figures 1 and 2.
+	PaperScenario = experiments.PaperScenario
+	// DiffServScenario adds gold/silver job classes (service
+	// differentiation).
+	DiffServScenario = experiments.DiffServScenario
+	// BaselineScenario reruns a shortened paper workload under any
+	// controller.
+	BaselineScenario = experiments.BaselineScenario
+	// ChurnScenario exercises the churn-minimization ablation.
+	ChurnScenario = experiments.ChurnScenario
+	// FailureScenario injects node failures mid-run.
+	FailureScenario = experiments.FailureScenario
+	// SpikeScenario surges the transactional load 3x mid-run.
+	SpikeScenario = experiments.SpikeScenario
+	// MultiAppScenario runs three web apps with different SLAs.
+	MultiAppScenario = experiments.MultiAppScenario
+	// QuickScenario is a fast smoke configuration.
+	QuickScenario = experiments.QuickScenario
+)
+
+// Figure series names (recorder keys) for CSV export.
+var (
+	// Fig1Series are the series of the paper's Figure 1: measured
+	// transactional utility and mean hypothetical job utility.
+	Fig1Series = experiments.Fig1SeriesNames
+	// Fig2Series are the series of Figure 2: per-workload CPU demand
+	// and satisfied demand.
+	Fig2Series = experiments.Fig2SeriesNames
+)
+
+// RenderASCII draws series as an ASCII chart (terminal figures).
+func RenderASCII(w Writer, title string, series []*Series, width, height int) error {
+	return metrics.RenderASCII(w, title, series, width, height)
+}
+
+// Writer is the io.Writer alias used by RenderASCII.
+type Writer = interface {
+	Write(p []byte) (n int, err error)
+}

@@ -1,0 +1,104 @@
+package slaplace_test
+
+import (
+	"strings"
+	"testing"
+
+	"slaplace"
+)
+
+func TestFacadeQuickRun(t *testing.T) {
+	r, err := slaplace.Run(slaplace.QuickScenario(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.JobStats.Completed == 0 {
+		t.Error("no jobs completed through the facade")
+	}
+	if s := slaplace.Summarize(r); s == "" {
+		t.Error("empty summary")
+	}
+}
+
+func TestFacadeCustomScenario(t *testing.T) {
+	model, err := slaplace.NewMG1PS(1350, 4500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := slaplace.Scenario{
+		Name:       "facade-custom",
+		Seed:       1,
+		Horizon:    4000,
+		Nodes:      2,
+		NodeCPU:    18000,
+		NodeMem:    16 * slaplace.GB,
+		Costs:      slaplace.DefaultVMCosts(),
+		Controller: slaplace.NewController(slaplace.DefaultControllerConfig()),
+		Loop: slaplace.LoopOptions{
+			CyclePeriod:    300,
+			FirstCycle:     30,
+			ActuationDelay: 25,
+		},
+		Jobs: []slaplace.JobStream{{
+			Class: slaplace.JobClass{
+				Name:        "crunch",
+				Work:        slaplace.Work(4500 * 600),
+				MaxSpeed:    4500,
+				Mem:         4 * slaplace.GB,
+				GoalStretch: 3,
+			},
+			InitialBurst: 2,
+			MaxJobs:      4,
+			Phases:       []slaplace.ArrivalPhase{{Start: 0, MeanInterarrival: 600}},
+			IDPrefix:     "crunch",
+		}},
+		Apps: []slaplace.WebApp{{
+			ID:             "shop",
+			RTGoal:         2.0,
+			Model:          model,
+			Pattern:        slaplace.ConstantLoad{Rate: 5},
+			InstanceMem:    1 * slaplace.GB,
+			MaxPerInstance: 18000,
+			MinInstances:   1,
+		}},
+	}
+	r, err := slaplace.Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.JobStats.Completed == 0 {
+		t.Error("custom scenario completed no jobs")
+	}
+	last, ok := r.Recorder.Series("trans/shop/utility").Last()
+	if !ok || last.V < 0.5 {
+		t.Errorf("lightly loaded web app utility %v, want healthy", last.V)
+	}
+}
+
+func TestFacadeBaselines(t *testing.T) {
+	for _, ctrl := range []slaplace.Controller{
+		slaplace.FCFS, slaplace.EDF, slaplace.FairShare, slaplace.StaticPartition(0.5),
+	} {
+		if ctrl.Name() == "" {
+			t.Errorf("%T: empty name", ctrl)
+		}
+	}
+}
+
+func TestFacadeASCIIRender(t *testing.T) {
+	r, err := slaplace.Run(slaplace.QuickScenario(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	series := []*slaplace.Series{
+		r.Recorder.Series("trans/web/utility"),
+		r.Recorder.Series("jobs/hypoUtility"),
+	}
+	if err := slaplace.RenderASCII(&sb, "utilities", series, 60, 12); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "utilities") {
+		t.Error("render missing title")
+	}
+}
