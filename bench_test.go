@@ -219,7 +219,7 @@ func BenchmarkPlacementScale(b *testing.B) {
 		b.Fatal(err)
 	}
 	shapes := []struct{ nodes, jobs int }{
-		{10, 30}, {25, 100}, {50, 300}, {100, 800}, {200, 2000},
+		{10, 30}, {25, 100}, {50, 300}, {100, 800}, {200, 2000}, {500, 5000},
 	}
 	for _, sh := range shapes {
 		b.Run(fmt.Sprintf("nodes=%d/jobs=%d", sh.nodes, sh.jobs), func(b *testing.B) {

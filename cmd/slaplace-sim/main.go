@@ -14,6 +14,9 @@
 //	                 (default "utility"; overrides the scenario's choice)
 //	-static-frac f   batch node fraction for the static controller
 //	-seed n          RNG seed (default 42)
+//	-replicas r      run r replicas with seeds seed..seed+r-1 (the
+//	                 export flags below cover the first replica only)
+//	-parallel n      worker count for replicated runs (1 = sequential)
 //	-horizon s       override the scenario horizon in seconds
 //	-csv path        write all recorded series as long-format CSV
 //	-series          print summary statistics for every recorded series
@@ -23,6 +26,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"sort"
 
 	"slaplace"
 
@@ -38,6 +43,8 @@ func main() {
 		ctrlName     = flag.String("controller", "utility", "placement controller")
 		staticFrac   = flag.Float64("static-frac", 0.6, "batch fraction for -controller static")
 		seed         = flag.Uint64("seed", 42, "RNG seed")
+		replicas     = flag.Int("replicas", 1, "replica count (seeds seed..seed+r-1)")
+		parallel     = flag.Int("parallel", runtime.NumCPU(), "worker count for replicas")
 		horizon      = flag.Float64("horizon", 0, "override horizon (seconds)")
 		csvPath      = flag.String("csv", "", "write recorded series as CSV")
 		jobsCSV      = flag.String("jobs-csv", "", "write per-job outcomes as CSV")
@@ -89,16 +96,50 @@ func main() {
 		sc.Horizon = *horizon
 	}
 
-	result, err := slaplace.Run(sc)
+	if *replicas < 1 {
+		fmt.Fprintln(os.Stderr, "slaplace-sim: -replicas must be >= 1")
+		os.Exit(2)
+	}
+	if *replicas > 1 && (*configPath != "" || *jobTrace != "") {
+		fmt.Fprintln(os.Stderr, "slaplace-sim: -replicas requires a named -scenario (not -config/-job-trace)")
+		os.Exit(2)
+	}
+	if *replicas > 1 && (*csvPath != "" || *jobsCSV != "" || *series) {
+		fmt.Fprintln(os.Stderr, "slaplace-sim: note: -csv/-jobs-csv/-series export the first replica only")
+	}
+	// Replicated runs (seeds seed..seed+r-1) fan out over RunMany's
+	// worker pool; results print in seed order regardless.
+	scs := []slaplace.Scenario{sc}
+	for i := 1; i < *replicas; i++ {
+		replica, err := buildScenario(*scenarioName, *seed+uint64(i))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "slaplace-sim:", err)
+			os.Exit(2)
+		}
+		// Each replica gets its own controller instance: replicas run
+		// concurrently, and sharing one would break RunMany's premise
+		// that workers share no state.
+		if ctrl, err := buildController(*ctrlName, *staticFrac); err == nil && ctrl != nil {
+			replica.Controller = ctrl
+		}
+		if *horizon > 0 {
+			replica.Horizon = *horizon
+		}
+		scs = append(scs, replica)
+	}
+	results, err := slaplace.RunMany(scs, *parallel)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "slaplace-sim:", err)
 		os.Exit(1)
 	}
-	fmt.Println(slaplace.Summarize(result))
-	for name, cs := range result.ClassStats {
-		fmt.Printf("  class %-10s completed=%4d violations=%3d meanUtility=%.3f meanStretch=%.2f\n",
-			name, cs.Completed, cs.GoalViolations, cs.MeanCompletionUtility, cs.MeanStretch)
+	for i, r := range results {
+		if *replicas > 1 {
+			fmt.Printf("[seed %d] ", *seed+uint64(i))
+		}
+		fmt.Println(slaplace.Summarize(r))
+		printClassStats(r)
 	}
+	result := results[0]
 
 	if *series {
 		for _, name := range result.Recorder.SeriesNames() {
@@ -132,6 +173,20 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Println("wrote", *jobsCSV)
+	}
+}
+
+// printClassStats prints per-class outcomes in deterministic order.
+func printClassStats(r *slaplace.Result) {
+	names := make([]string, 0, len(r.ClassStats))
+	for name := range r.ClassStats {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		cs := r.ClassStats[name]
+		fmt.Printf("  class %-10s completed=%4d violations=%3d meanUtility=%.3f meanStretch=%.2f\n",
+			name, cs.Completed, cs.GoalViolations, cs.MeanCompletionUtility, cs.MeanStretch)
 	}
 }
 

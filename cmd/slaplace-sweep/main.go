@@ -1,22 +1,26 @@
 // Command slaplace-sweep runs the sensitivity studies: control-cycle
-// period, utility-function shape, and transactional-load scaling —
-// each over the shortened paper workload with identical traces.
+// period, utility-function shape, transactional-load scaling and
+// eviction-margin hysteresis — each over the shortened paper workload
+// with identical traces. Variants fan out across a worker pool; the
+// points are identical whatever the parallelism.
 //
-//	slaplace-sweep [-sweep cycle|utility|load|all] [-seed n]
+//	slaplace-sweep [-sweep cycle|utility|load|margin|all] [-seed n] [-parallel N]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"slaplace/internal/experiments"
 )
 
 func main() {
 	var (
-		which = flag.String("sweep", "all", "cycle | utility | load | margin | all")
-		seed  = flag.Uint64("seed", 42, "RNG seed")
+		which    = flag.String("sweep", "all", "cycle | utility | load | margin | all")
+		seed     = flag.Uint64("seed", 42, "RNG seed")
+		parallel = flag.Int("parallel", runtime.NumCPU(), "worker count (1 = sequential)")
 	)
 	flag.Parse()
 
@@ -30,39 +34,40 @@ func main() {
 		fmt.Print(experiments.FormatSweep(points))
 		fmt.Println()
 	}
+	sweeps := map[string]func(){
+		"cycle": func() {
+			run("control-cycle", func() ([]experiments.SweepPoint, error) {
+				return experiments.CycleSweep(*seed, nil, *parallel)
+			})
+		},
+		"utility": func() {
+			run("utility-function", func() ([]experiments.SweepPoint, error) {
+				return experiments.UtilityFnSweep(*seed, *parallel)
+			})
+		},
+		"load": func() {
+			run("transactional-load", func() ([]experiments.SweepPoint, error) {
+				return experiments.LoadSweep(*seed, nil, *parallel)
+			})
+		},
+		"margin": func() {
+			run("eviction-margin", func() ([]experiments.SweepPoint, error) {
+				return experiments.EvictionMarginSweep(*seed, nil, *parallel)
+			})
+		},
+	}
 
 	switch *which {
-	case "cycle":
-		run("control-cycle", func() ([]experiments.SweepPoint, error) {
-			return experiments.CycleSweep(*seed, nil)
-		})
-	case "utility":
-		run("utility-function", func() ([]experiments.SweepPoint, error) {
-			return experiments.UtilityFnSweep(*seed)
-		})
-	case "load":
-		run("transactional-load", func() ([]experiments.SweepPoint, error) {
-			return experiments.LoadSweep(*seed, nil)
-		})
-	case "margin":
-		run("eviction-margin", func() ([]experiments.SweepPoint, error) {
-			return experiments.EvictionMarginSweep(*seed, nil)
-		})
 	case "all":
-		run("control-cycle", func() ([]experiments.SweepPoint, error) {
-			return experiments.CycleSweep(*seed, nil)
-		})
-		run("utility-function", func() ([]experiments.SweepPoint, error) {
-			return experiments.UtilityFnSweep(*seed)
-		})
-		run("transactional-load", func() ([]experiments.SweepPoint, error) {
-			return experiments.LoadSweep(*seed, nil)
-		})
-		run("eviction-margin", func() ([]experiments.SweepPoint, error) {
-			return experiments.EvictionMarginSweep(*seed, nil)
-		})
+		for _, name := range []string{"cycle", "utility", "load", "margin"} {
+			sweeps[name]()
+		}
 	default:
-		fmt.Fprintf(os.Stderr, "slaplace-sweep: unknown sweep %q\n", *which)
-		os.Exit(2)
+		f, ok := sweeps[*which]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "slaplace-sweep: unknown sweep %q\n", *which)
+			os.Exit(2)
+		}
+		f()
 	}
 }

@@ -1,0 +1,3 @@
+module slaplace
+
+go 1.24

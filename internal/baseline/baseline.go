@@ -13,8 +13,10 @@
 //   - FairShare: capacity divided equally per workload entity,
 //     ignoring utility curves entirely.
 //
-// All baselines implement core.Controller and run on exactly the same
-// substrate, monitoring and actuation paths as the real controller.
+// All baselines implement core.Controller and plan on the same
+// substrate as the real controller — core.Ledgers occupancy books and
+// core's plan bookkeeping — so the differences under test are purely
+// the policies, never the accounting.
 package baseline
 
 import (
@@ -25,53 +27,15 @@ import (
 	"slaplace/internal/core"
 	"slaplace/internal/res"
 	"slaplace/internal/workload/batch"
-	"slaplace/internal/workload/trans"
 )
-
-// nodePlan tracks planned occupancy during a baseline planning pass.
-type nodePlan struct {
-	info     core.NodeInfo
-	memUsed  res.Memory
-	cpuUsed  res.CPU
-	jobCount int
-}
-
-func (n *nodePlan) freeMem() res.Memory { return n.info.Mem - n.memUsed }
-func (n *nodePlan) freeCPU() res.CPU    { return n.info.CPU - n.cpuUsed }
-
-// buildPlans seeds planning records for a node subset.
-func buildPlans(nodes []core.NodeInfo) (map[cluster.NodeID]*nodePlan, []cluster.NodeID) {
-	plans := make(map[cluster.NodeID]*nodePlan, len(nodes))
-	order := make([]cluster.NodeID, 0, len(nodes))
-	for _, n := range nodes {
-		plans[n.ID] = &nodePlan{info: n}
-		order = append(order, n.ID)
-	}
-	return plans, order
-}
-
-// seedRunning accounts the memory of already-running jobs hosted on the
-// subset's nodes. Every baseline must call this before reserving web
-// capacity or placing jobs, or it will plan into occupied memory.
-func seedRunning(st *core.State, plans map[cluster.NodeID]*nodePlan) {
-	for i := range st.Jobs {
-		j := &st.Jobs[i]
-		if j.State != batch.Running {
-			continue
-		}
-		if p, ok := plans[j.Node]; ok {
-			p.memUsed += j.Mem
-			p.jobCount++
-		}
-	}
-}
 
 // reserveWeb places instances of every app across the given nodes and
 // reserves share = min(app max-useful demand, spread across nodes). It
 // emits instance actions onto the plan. Baselines keep web handling
 // identical (fixed, demand-driven) so the differences under test are
 // the job policies and the absence of utility trade-off.
-func reserveWeb(st *core.State, plan *core.Plan, plans map[cluster.NodeID]*nodePlan, order []cluster.NodeID) {
+func reserveWeb(st *core.State, plan *core.Plan, ledgers *core.Ledgers) {
+	order := ledgers.Order()
 	for ai := range st.Apps {
 		app := &st.Apps[ai]
 		demand := app.Curve().MaxUseful()
@@ -98,7 +62,7 @@ func reserveWeb(st *core.State, plan *core.Plan, plans map[cluster.NodeID]*nodeP
 		// Keep existing instances on nodes in this partition.
 		kept := make([]cluster.NodeID, 0, needed)
 		for _, n := range app.InstanceNodes() {
-			if _, ok := plans[n]; !ok {
+			if _, ok := ledgers.Get(n); !ok {
 				continue
 			}
 			if len(kept) < needed {
@@ -108,7 +72,8 @@ func reserveWeb(st *core.State, plan *core.Plan, plans map[cluster.NodeID]*nodeP
 			}
 		}
 		for _, n := range kept {
-			plans[n].memUsed += app.InstanceMem
+			l, _ := ledgers.Get(n)
+			l.MemUsed += app.InstanceMem
 		}
 		if len(kept) < needed {
 			has := map[cluster.NodeID]bool{}
@@ -119,11 +84,12 @@ func reserveWeb(st *core.State, plan *core.Plan, plans map[cluster.NodeID]*nodeP
 				if len(kept) >= needed {
 					break
 				}
-				if has[n] || plans[n].freeMem() < app.InstanceMem {
+				l, _ := ledgers.Get(n)
+				if has[n] || l.FreeMem() < app.InstanceMem {
 					continue
 				}
 				kept = append(kept, n)
-				plans[n].memUsed += app.InstanceMem
+				l.MemUsed += app.InstanceMem
 				plan.Actions = append(plan.Actions, core.AddInstance{App: app.ID, Node: n})
 			}
 		}
@@ -132,8 +98,9 @@ func reserveWeb(st *core.State, plan *core.Plan, plans map[cluster.NodeID]*nodeP
 		}
 		per := res.Min(demand/res.CPU(len(kept)), app.MaxPerInstance)
 		for _, n := range kept {
-			share := res.Min(per, plans[n].freeCPU())
-			plans[n].cpuUsed += share
+			l, _ := ledgers.Get(n)
+			share := res.Min(per, l.FreeCPU())
+			l.WebShare += share
 			plan.AppTarget[app.ID] += share
 		}
 		// Emit share adjustments / fill in AddInstance shares.
@@ -153,61 +120,27 @@ func reserveWeb(st *core.State, plan *core.Plan, plans map[cluster.NodeID]*nodeP
 	}
 }
 
-// recordJobDiagnostics fills the hypothetical-utility fields so the
-// figure harness can plot baselines on the same axes.
-func recordJobDiagnostics(st *core.State, plan *core.Plan, jobShare map[batch.JobID]res.CPU) {
-	var utilSum float64
-	classSum := map[string]float64{}
-	classN := map[string]int{}
-	for i := range st.Jobs {
-		j := &st.Jobs[i]
-		curve := j.Curve(st.Now)
-		plan.JobDemand += curve.MaxUseful()
-		share := jobShare[j.ID]
-		u := curve.UtilityAt(share)
-		utilSum += u
-		classSum[j.Class] += u
-		classN[j.Class]++
-		plan.JobTarget += share
-	}
-	if len(st.Jobs) > 0 {
-		plan.HypotheticalJobUtility = utilSum / float64(len(st.Jobs))
-		plan.ClassHypoUtility = make(map[string]float64, len(classSum))
-		for class, sum := range classSum {
-			plan.ClassHypoUtility[class] = sum / float64(classN[class])
-		}
-	}
-}
-
-// newPlan allocates an empty plan with its maps ready.
-func newPlan() *core.Plan {
-	return &core.Plan{
-		AppPrediction: make(map[trans.AppID]float64),
-		AppDemand:     make(map[trans.AppID]res.CPU),
-		AppTarget:     make(map[trans.AppID]res.CPU),
-	}
-}
-
 // placeFullSpeed walks jobs in the given order and places unplaced ones
 // at full speed on the emptiest feasible node of the subset. Running
 // jobs on nodes of the subset are kept. Returns each job's granted
 // share. If preempt is non-nil it may suspend running jobs to make
 // room (EDF); preempt receives the candidate and must return a victim
 // job ID or "".
-func placeFullSpeed(st *core.State, plan *core.Plan, plans map[cluster.NodeID]*nodePlan,
-	order []cluster.NodeID, jobOrder []*core.JobInfo,
+func placeFullSpeed(st *core.State, plan *core.Plan, ledgers *core.Ledgers,
+	jobOrder []*core.JobInfo,
 	preempt func(cand *core.JobInfo, after []*core.JobInfo) batch.JobID) map[batch.JobID]res.CPU {
 
+	order := ledgers.Order()
 	shares := make(map[batch.JobID]res.CPU, len(jobOrder))
 	suspended := make(map[batch.JobID]bool)
-	// Running residency was seeded by seedRunning (callers must do so
-	// before reserveWeb to keep memory accounting truthful).
+	// Running residency was seeded by Ledgers.SeedRunning (callers must
+	// do so before reserveWeb to keep memory accounting truthful).
 	for idx, j := range jobOrder {
 		if suspended[j.ID] {
 			continue
 		}
 		if j.State == batch.Running {
-			if _, ok := plans[j.Node]; ok {
+			if _, ok := ledgers.Get(j.Node); ok {
 				shares[j.ID] = res.Min(j.MaxSpeed, j.Share)
 				if j.Share < j.MaxSpeed {
 					// Baselines always run placed jobs at full speed.
@@ -221,12 +154,12 @@ func placeFullSpeed(st *core.State, plan *core.Plan, plans map[cluster.NodeID]*n
 		var best cluster.NodeID
 		bestCount := math.MaxInt
 		for _, n := range order {
-			p := plans[n]
-			if p.freeMem() < j.Mem {
+			l, _ := ledgers.Get(n)
+			if l.FreeMem() < j.Mem {
 				continue
 			}
-			if p.jobCount < bestCount {
-				best, bestCount = n, p.jobCount
+			if l.JobCount < bestCount {
+				best, bestCount = n, l.JobCount
 			}
 		}
 		if best == "" && preempt != nil {
@@ -236,11 +169,10 @@ func placeFullSpeed(st *core.State, plan *core.Plan, plans map[cluster.NodeID]*n
 					if v.ID == victim {
 						suspended[victim] = true
 						plan.Actions = append(plan.Actions, core.SuspendJob{Job: victim})
-						p := plans[v.Node]
-						p.memUsed -= v.Mem
-						p.jobCount--
+						l, _ := ledgers.Get(v.Node)
+						l.Release(*v)
 						delete(shares, victim)
-						if p.freeMem() >= j.Mem {
+						if l.FreeMem() >= j.Mem {
 							best = v.Node
 						}
 						break
@@ -251,9 +183,8 @@ func placeFullSpeed(st *core.State, plan *core.Plan, plans map[cluster.NodeID]*n
 		if best == "" {
 			continue // waits in queue
 		}
-		p := plans[best]
-		p.memUsed += j.Mem
-		p.jobCount++
+		l, _ := ledgers.Get(best)
+		l.Occupy(*j)
 		shares[j.ID] = j.MaxSpeed
 		if j.State == batch.Pending {
 			plan.Actions = append(plan.Actions, core.StartJob{Job: j.ID, Node: best, Share: j.MaxSpeed})

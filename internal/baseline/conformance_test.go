@@ -1,0 +1,387 @@
+package baseline_test
+
+import (
+	"fmt"
+	"testing"
+
+	"slaplace/internal/baseline"
+	"slaplace/internal/cluster"
+	"slaplace/internal/core"
+	"slaplace/internal/queueing"
+	"slaplace/internal/res"
+	"slaplace/internal/workload/batch"
+	"slaplace/internal/workload/trans"
+)
+
+// Conformance suite: every controller — the utility pipeline and all
+// four baselines — must satisfy the same planning invariants on the
+// same snapshots:
+//
+//  1. no plan overcommits a node's memory — the vm layer rejects such
+//     placements outright, so a violating plan means failed actions,
+//  2. no plan's job tier alone exceeds a node's CPU power — every
+//     policy sizes job shares against real capacity (the web tier may
+//     additionally reserve demand on top; full-speed baselines lean on
+//     the vm layer's proportional rescaling for that overlap, so the
+//     web+jobs total is a policy property, not a conformance one),
+//  3. actions never reference unknown jobs, nodes or applications,
+//  4. identical states yield identical plans (determinism).
+
+// conformers returns every controller under test.
+func conformers() []core.Controller {
+	return []core.Controller{
+		core.New(core.DefaultConfig()),
+		baseline.FCFS{},
+		baseline.EDF{},
+		baseline.FairShare{},
+		baseline.Static{BatchFraction: 0.6},
+	}
+}
+
+// mg1 builds the standard test queueing model.
+func mg1(t *testing.T) queueing.MG1PS {
+	t.Helper()
+	m, err := queueing.NewMG1PS(1350, 4500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// confJob builds a paper-shaped job (4.5 GHz cap, 5 GB).
+func confJob(id string, state batch.State, node cluster.NodeID, share res.CPU, goal, submitted float64) core.JobInfo {
+	return core.JobInfo{
+		ID: batch.JobID(id), Class: "batch", State: state, Node: node,
+		Share: share, Remaining: res.Work(4500 * 5000), MaxSpeed: 4500,
+		Mem: 5000, Goal: goal, Submitted: submitted,
+	}
+}
+
+// conformanceStates builds the snapshot catalog the suite runs every
+// controller against.
+func conformanceStates(t *testing.T) map[string]*core.State {
+	t.Helper()
+	states := make(map[string]*core.State)
+
+	uniform := func(n int) []core.NodeInfo {
+		out := make([]core.NodeInfo, n)
+		for i := range out {
+			out[i] = core.NodeInfo{
+				ID: cluster.NodeID(fmt.Sprintf("node-%02d", i)), CPU: 18000, Mem: 16000,
+			}
+		}
+		return out
+	}
+	app := func(id string, lambda float64, instances map[cluster.NodeID]res.CPU) core.AppInfo {
+		if instances == nil {
+			instances = map[cluster.NodeID]res.CPU{}
+		}
+		return core.AppInfo{
+			ID: trans.AppID(id), Lambda: lambda, RTGoal: 3.0, Model: mg1(t),
+			InstanceMem: 1000, MaxPerInstance: 18000, MinInstances: 1,
+			Instances: instances,
+		}
+	}
+
+	states["empty"] = &core.State{Now: 100, Nodes: uniform(2)}
+
+	states["mixed"] = &core.State{
+		Now:   5000,
+		Nodes: uniform(4),
+		Jobs: []core.JobInfo{
+			confJob("r1", batch.Running, "node-00", 4500, 30000, 0),
+			confJob("r2", batch.Running, "node-01", 2000, 40000, 100),
+			confJob("p1", batch.Pending, "", 0, 20000, 200),
+			confJob("s1", batch.Suspended, "", 0, 25000, 300),
+		},
+		Apps: []core.AppInfo{app("web", 45, map[cluster.NodeID]res.CPU{"node-02": 9000})},
+	}
+
+	// Memory pressure: more jobs than slots, urgent pending work → the
+	// preempting controllers must suspend without corrupting the books.
+	pressure := &core.State{Now: 5000, Nodes: uniform(2)}
+	for i := 0; i < 6; i++ {
+		id := fmt.Sprintf("r%d", i)
+		node := cluster.NodeID(fmt.Sprintf("node-%02d", i%2))
+		if i < 6-2 {
+			pressure.Jobs = append(pressure.Jobs, confJob(id, batch.Running, node, 4500, 80000+float64(i)*1000, float64(i)))
+		} else {
+			// Urgent pending jobs with tight goals.
+			pressure.Jobs = append(pressure.Jobs, confJob(id, batch.Pending, "", 0, 11000+float64(i), 4000+float64(i)))
+		}
+	}
+	pressure.Apps = []core.AppInfo{app("web", 30, map[cluster.NodeID]res.CPU{"node-00": 4000})}
+	states["memory-pressure"] = pressure
+
+	// A job whose hosting node vanished from the snapshot (failure):
+	// plans must not reference the missing node.
+	states["vanished-node"] = &core.State{
+		Now:   5000,
+		Nodes: uniform(2),
+		Jobs: []core.JobInfo{
+			confJob("lost", batch.Running, "node-99", 4500, 30000, 0),
+			confJob("p1", batch.Pending, "", 0, 30000, 100),
+		},
+		Apps: []core.AppInfo{app("web", 30, nil)},
+	}
+
+	// Larger synthetic population, half running half queued.
+	big := &core.State{Now: 50000, Nodes: uniform(10)}
+	for i := 0; i < 30; i++ {
+		id := fmt.Sprintf("j%03d", i)
+		if i%2 == 0 {
+			node := big.Nodes[(i/2)%10].ID
+			big.Jobs = append(big.Jobs, confJob(id, batch.Running, node, 4500, 60000+float64(i%7)*4000, float64(i)))
+		} else {
+			big.Jobs = append(big.Jobs, confJob(id, batch.Pending, "", 0, 60000+float64(i%11)*4000, float64(i)))
+		}
+	}
+	big.Apps = []core.AppInfo{
+		app("gold", 50, map[cluster.NodeID]res.CPU{"node-00": 9000, "node-01": 9000}),
+		app("bronze", 20, nil),
+	}
+	states["large"] = big
+
+	return states
+}
+
+// cloneState deep-copies a snapshot so planning twice starts from
+// identical, unaliased inputs.
+func cloneState(st *core.State) *core.State {
+	cp := &core.State{Now: st.Now}
+	cp.Nodes = append([]core.NodeInfo(nil), st.Nodes...)
+	cp.Jobs = append([]core.JobInfo(nil), st.Jobs...)
+	for _, a := range st.Apps {
+		ac := a
+		ac.Instances = make(map[cluster.NodeID]res.CPU, len(a.Instances))
+		for n, s := range a.Instances {
+			ac.Instances[n] = s
+		}
+		cp.Apps = append(cp.Apps, ac)
+	}
+	return cp
+}
+
+// checkReferences verifies every action references a known job, node
+// and application.
+func checkReferences(t *testing.T, st *core.State, plan *core.Plan) {
+	t.Helper()
+	knownNode := map[cluster.NodeID]bool{}
+	for _, n := range st.Nodes {
+		knownNode[n.ID] = true
+	}
+	knownJob := map[batch.JobID]bool{}
+	for _, j := range st.Jobs {
+		knownJob[j.ID] = true
+	}
+	knownApp := map[trans.AppID]bool{}
+	for _, a := range st.Apps {
+		knownApp[a.ID] = true
+	}
+	for _, act := range plan.Actions {
+		switch a := act.(type) {
+		case core.StartJob:
+			if !knownJob[a.Job] || !knownNode[a.Node] {
+				t.Errorf("action %v references unknown job/node", a)
+			}
+		case core.ResumeJob:
+			if !knownJob[a.Job] || !knownNode[a.Node] {
+				t.Errorf("action %v references unknown job/node", a)
+			}
+		case core.SuspendJob:
+			if !knownJob[a.Job] {
+				t.Errorf("action %v references unknown job", a)
+			}
+		case core.MigrateJob:
+			if !knownJob[a.Job] || !knownNode[a.Dst] {
+				t.Errorf("action %v references unknown job/node", a)
+			}
+		case core.SetJobShare:
+			if !knownJob[a.Job] {
+				t.Errorf("action %v references unknown job", a)
+			}
+		case core.AddInstance:
+			if !knownApp[a.App] || !knownNode[a.Node] {
+				t.Errorf("action %v references unknown app/node", a)
+			}
+		case core.RemoveInstance:
+			if !knownApp[a.App] || !knownNode[a.Node] {
+				t.Errorf("action %v references unknown app/node", a)
+			}
+		case core.SetInstanceShare:
+			if !knownApp[a.App] || !knownNode[a.Node] {
+				t.Errorf("action %v references unknown app/node", a)
+			}
+		default:
+			t.Errorf("unknown action type %T", act)
+		}
+	}
+}
+
+// checkOccupancy replays the plan onto the snapshot and verifies no
+// node ends over its memory capacity and no node's job tier alone is
+// granted more CPU than the node has.
+func checkOccupancy(t *testing.T, st *core.State, plan *core.Plan) {
+	t.Helper()
+	type book struct {
+		mem res.Memory
+		cpu res.CPU // job-tier shares only
+	}
+	books := map[cluster.NodeID]*book{}
+	for _, n := range st.Nodes {
+		books[n.ID] = &book{}
+	}
+
+	// Index plan decisions per job / instance.
+	suspended := map[batch.JobID]bool{}
+	migrated := map[batch.JobID]cluster.NodeID{}
+	newShare := map[batch.JobID]res.CPU{}
+	started := map[batch.JobID]core.StartJob{}
+	resumed := map[batch.JobID]core.ResumeJob{}
+	migShare := map[batch.JobID]res.CPU{}
+	instRemoved := map[trans.AppID]map[cluster.NodeID]bool{}
+	instAdded := []core.AddInstance{}
+	instShare := map[trans.AppID]map[cluster.NodeID]res.CPU{}
+	for _, act := range plan.Actions {
+		switch a := act.(type) {
+		case core.SuspendJob:
+			suspended[a.Job] = true
+		case core.MigrateJob:
+			migrated[a.Job] = a.Dst
+			migShare[a.Job] = a.Share
+		case core.SetJobShare:
+			newShare[a.Job] = a.Share
+		case core.StartJob:
+			started[a.Job] = a
+		case core.ResumeJob:
+			resumed[a.Job] = a
+		case core.RemoveInstance:
+			if instRemoved[a.App] == nil {
+				instRemoved[a.App] = map[cluster.NodeID]bool{}
+			}
+			instRemoved[a.App][a.Node] = true
+		case core.AddInstance:
+			instAdded = append(instAdded, a)
+		case core.SetInstanceShare:
+			if instShare[a.App] == nil {
+				instShare[a.App] = map[cluster.NodeID]res.CPU{}
+			}
+			instShare[a.App][a.Node] = a.Share
+		}
+	}
+
+	// Jobs after the plan.
+	for _, j := range st.Jobs {
+		switch {
+		case suspended[j.ID]:
+			// Off the node.
+		case j.State == batch.Running:
+			node, share := j.Node, j.Share
+			if dst, ok := migrated[j.ID]; ok {
+				node, share = dst, migShare[j.ID]
+			} else if s, ok := newShare[j.ID]; ok {
+				share = s
+			}
+			if b, ok := books[node]; ok {
+				b.mem += j.Mem
+				b.cpu += share
+			}
+		case j.State == batch.Pending:
+			if a, ok := started[j.ID]; ok {
+				if b, ok := books[a.Node]; ok {
+					b.mem += j.Mem
+					b.cpu += a.Share
+				}
+			}
+		case j.State == batch.Suspended:
+			if a, ok := resumed[j.ID]; ok {
+				if b, ok := books[a.Node]; ok {
+					b.mem += j.Mem
+					b.cpu += a.Share
+				}
+			}
+		}
+	}
+	// Web instances after the plan (memory only: instance CPU shares
+	// overlap the job tier by policy design, see the suite comment).
+	for _, app := range st.Apps {
+		for node := range app.Instances {
+			if instRemoved[app.ID][node] {
+				continue
+			}
+			b, ok := books[node]
+			if !ok {
+				continue // node vanished; instance gone with it
+			}
+			b.mem += app.InstanceMem
+		}
+	}
+	for _, a := range instAdded {
+		var mem res.Memory
+		for _, app := range st.Apps {
+			if app.ID == a.App {
+				mem = app.InstanceMem
+			}
+		}
+		// Unknown-node references are checkReferences' finding; don't
+		// let them panic the occupancy replay.
+		if b, ok := books[a.Node]; ok {
+			b.mem += mem
+		}
+	}
+
+	for _, n := range st.Nodes {
+		b := books[n.ID]
+		if b.mem > n.Mem {
+			t.Errorf("node %s over memory: %v > %v", n.ID, b.mem, n.Mem)
+		}
+		if float64(b.cpu) > float64(n.CPU)*(1+1e-9) {
+			t.Errorf("node %s job tier over CPU: %v > %v", n.ID, b.cpu, n.CPU)
+		}
+	}
+}
+
+func TestControllerConformance(t *testing.T) {
+	for _, ctrl := range conformers() {
+		t.Run(ctrl.Name(), func(t *testing.T) {
+			for name, st := range conformanceStates(t) {
+				t.Run(name, func(t *testing.T) {
+					plan := ctrl.Plan(cloneState(st))
+					if plan == nil {
+						t.Fatal("nil plan")
+					}
+					checkReferences(t, st, plan)
+					checkOccupancy(t, st, plan)
+				})
+			}
+		})
+	}
+}
+
+// TestControllerDeterminism re-plans every snapshot and requires
+// action-for-action identical output: the Controller contract.
+func TestControllerDeterminism(t *testing.T) {
+	for _, ctrl := range conformers() {
+		t.Run(ctrl.Name(), func(t *testing.T) {
+			for name, st := range conformanceStates(t) {
+				t.Run(name, func(t *testing.T) {
+					a := ctrl.Plan(cloneState(st))
+					b := ctrl.Plan(cloneState(st))
+					if len(a.Actions) != len(b.Actions) {
+						t.Fatalf("action counts differ: %d vs %d", len(a.Actions), len(b.Actions))
+					}
+					for i := range a.Actions {
+						if a.Actions[i].String() != b.Actions[i].String() {
+							t.Errorf("action %d differs: %v vs %v", i, a.Actions[i], b.Actions[i])
+						}
+					}
+					if a.EqualizedUtility != b.EqualizedUtility ||
+						a.HypotheticalJobUtility != b.HypotheticalJobUtility ||
+						a.JobDemand != b.JobDemand || a.JobTarget != b.JobTarget {
+						t.Error("plan diagnostics differ between identical states")
+					}
+				})
+			}
+		})
+	}
+}

@@ -29,7 +29,7 @@ func (s Static) Plan(st *core.State) *core.Plan {
 	if s.BatchFraction <= 0 || s.BatchFraction >= 1 {
 		panic(fmt.Sprintf("baseline: Static.BatchFraction %v outside (0,1)", s.BatchFraction))
 	}
-	plan := newPlan()
+	plan := core.NewPlan()
 	nBatch := int(float64(len(st.Nodes))*s.BatchFraction + 0.999999)
 	if nBatch >= len(st.Nodes) && len(st.Nodes) > 1 {
 		nBatch = len(st.Nodes) - 1
@@ -37,15 +37,15 @@ func (s Static) Plan(st *core.State) *core.Plan {
 	batchNodes := st.Nodes[:nBatch]
 	webNodes := st.Nodes[nBatch:]
 
-	webPlans, webOrder := buildPlans(webNodes)
-	seedRunning(st, webPlans)
-	reserveWeb(st, plan, webPlans, webOrder)
+	webLedgers := core.NewLedgers(webNodes)
+	webLedgers.SeedRunning(st)
+	reserveWeb(st, plan, webLedgers)
 
-	batchPlans, batchOrder := buildPlans(batchNodes)
-	seedRunning(st, batchPlans)
+	batchLedgers := core.NewLedgers(batchNodes)
+	batchLedgers.SeedRunning(st)
 	jobs := jobPtrs(st)
-	shares := placeFullSpeed(st, plan, batchPlans, batchOrder, jobs, nil)
-	recordJobDiagnostics(st, plan, shares)
+	shares := placeFullSpeed(st, plan, batchLedgers, jobs, nil)
+	core.RecordJobUtility(st, plan, shares)
 	return plan
 }
 
@@ -61,13 +61,13 @@ func (FCFS) Name() string { return "fcfs" }
 
 // Plan implements core.Controller.
 func (FCFS) Plan(st *core.State) *core.Plan {
-	plan := newPlan()
-	plans, order := buildPlans(st.Nodes)
-	seedRunning(st, plans)
-	reserveWeb(st, plan, plans, order)
+	plan := core.NewPlan()
+	ledgers := core.NewLedgers(st.Nodes)
+	ledgers.SeedRunning(st)
+	reserveWeb(st, plan, ledgers)
 	jobs := jobPtrs(st)
-	shares := placeFullSpeed(st, plan, plans, order, jobs, nil)
-	recordJobDiagnostics(st, plan, shares)
+	shares := placeFullSpeed(st, plan, ledgers, jobs, nil)
+	core.RecordJobUtility(st, plan, shares)
 	return plan
 }
 
@@ -84,10 +84,10 @@ func (EDF) Name() string { return "edf" }
 
 // Plan implements core.Controller.
 func (EDF) Plan(st *core.State) *core.Plan {
-	plan := newPlan()
-	plans, order := buildPlans(st.Nodes)
-	seedRunning(st, plans)
-	reserveWeb(st, plan, plans, order)
+	plan := core.NewPlan()
+	ledgers := core.NewLedgers(st.Nodes)
+	ledgers.SeedRunning(st)
+	reserveWeb(st, plan, ledgers)
 
 	jobs := jobPtrs(st)
 	sort.SliceStable(jobs, func(a, b int) bool {
@@ -101,15 +101,15 @@ func (EDF) Plan(st *core.State) *core.Plan {
 		for i := len(after) - 1; i >= 0; i-- {
 			v := after[i]
 			if v.State == batch.Running && v.Goal > cand.Goal {
-				if _, ok := plans[v.Node]; ok {
+				if _, ok := ledgers.Get(v.Node); ok {
 					return v.ID
 				}
 			}
 		}
 		return ""
 	}
-	shares := placeFullSpeed(st, plan, plans, order, jobs, preempt)
-	recordJobDiagnostics(st, plan, shares)
+	shares := placeFullSpeed(st, plan, ledgers, jobs, preempt)
+	core.RecordJobUtility(st, plan, shares)
 	return plan
 }
 
@@ -126,9 +126,10 @@ func (FairShare) Name() string { return "fairshare" }
 
 // Plan implements core.Controller.
 func (FairShare) Plan(st *core.State) *core.Plan {
-	plan := newPlan()
-	plans, order := buildPlans(st.Nodes)
-	seedRunning(st, plans)
+	plan := core.NewPlan()
+	ledgers := core.NewLedgers(st.Nodes)
+	ledgers.SeedRunning(st)
+	order := ledgers.Order()
 
 	entities := len(st.Apps) + len(st.Jobs)
 	if entities == 0 {
@@ -151,20 +152,21 @@ func (FairShare) Plan(st *core.State) *core.Plan {
 		}
 		kept := make([]cluster.NodeID, 0, needed)
 		for _, n := range app.InstanceNodes() {
-			if _, ok := plans[n]; ok && len(kept) < needed {
+			if l, ok := ledgers.Get(n); ok && len(kept) < needed {
 				kept = append(kept, n)
-				plans[n].memUsed += app.InstanceMem
+				l.MemUsed += app.InstanceMem
 			}
 		}
 		for _, n := range order {
 			if len(kept) >= needed {
 				break
 			}
-			if app.Instances[n] > 0 || plans[n].freeMem() < app.InstanceMem {
+			l, _ := ledgers.Get(n)
+			if app.Instances[n] > 0 || l.FreeMem() < app.InstanceMem {
 				continue
 			}
 			kept = append(kept, n)
-			plans[n].memUsed += app.InstanceMem
+			l.MemUsed += app.InstanceMem
 			plan.Actions = append(plan.Actions, core.AddInstance{App: app.ID, Node: n, Share: target / res.CPU(needed)})
 		}
 		if len(kept) == 0 {
@@ -172,7 +174,8 @@ func (FairShare) Plan(st *core.State) *core.Plan {
 		}
 		per := res.Min(target/res.CPU(len(kept)), app.MaxPerInstance)
 		for _, n := range kept {
-			plans[n].cpuUsed += per
+			l, _ := ledgers.Get(n)
+			l.WebShare += per
 			plan.AppTarget[app.ID] += per
 			cur, had := app.Instances[n]
 			if had && !res.AlmostEqual(cur, per) {
@@ -195,8 +198,8 @@ func (FairShare) Plan(st *core.State) *core.Plan {
 	for _, j := range jobs {
 		share := res.Min(perEntity, j.MaxSpeed)
 		if j.State == batch.Running {
-			if _, ok := plans[j.Node]; ok {
-				// Residency already accounted by seedRunning.
+			if _, ok := ledgers.Get(j.Node); ok {
+				// Residency already accounted by SeedRunning.
 				shares[j.ID] = share
 				if !res.AlmostEqual(share, j.Share) {
 					plan.Actions = append(plan.Actions, core.SetJobShare{Job: j.ID, Share: share})
@@ -207,15 +210,16 @@ func (FairShare) Plan(st *core.State) *core.Plan {
 		var best cluster.NodeID
 		var bestFree res.Memory = -1
 		for _, n := range order {
-			p := plans[n]
-			if p.freeMem() >= j.Mem && p.freeMem() > bestFree {
-				best, bestFree = n, p.freeMem()
+			l, _ := ledgers.Get(n)
+			if l.FreeMem() >= j.Mem && l.FreeMem() > bestFree {
+				best, bestFree = n, l.FreeMem()
 			}
 		}
 		if best == "" {
 			continue
 		}
-		plans[best].memUsed += j.Mem
+		l, _ := ledgers.Get(best)
+		l.Occupy(*j)
 		shares[j.ID] = share
 		if j.State == batch.Pending {
 			plan.Actions = append(plan.Actions, core.StartJob{Job: j.ID, Node: best, Share: share})
@@ -223,6 +227,6 @@ func (FairShare) Plan(st *core.State) *core.Plan {
 			plan.Actions = append(plan.Actions, core.ResumeJob{Job: j.ID, Node: best, Share: share})
 		}
 	}
-	recordJobDiagnostics(st, plan, shares)
+	core.RecordJobUtility(st, plan, shares)
 	return plan
 }

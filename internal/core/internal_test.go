@@ -10,13 +10,13 @@ import (
 	"slaplace/internal/workload/batch"
 )
 
-// pj builds a plannedJob with the given speed cap for waterfill tests.
-func pj(cap res.CPU) *plannedJob {
-	return &plannedJob{info: JobInfo{MaxSpeed: cap}}
+// pj builds a PlannedJob with the given speed cap for waterfill tests.
+func pj(cap res.CPU) *PlannedJob {
+	return &PlannedJob{Info: JobInfo{MaxSpeed: cap}}
 }
 
 func TestWaterfillEqualSplitUnderCaps(t *testing.T) {
-	jobs := []*plannedJob{pj(4500), pj(4500), pj(4500)}
+	jobs := []*PlannedJob{pj(4500), pj(4500), pj(4500)}
 	shares := waterfillJobs(jobs, 9000)
 	for i, s := range shares {
 		if !res.AlmostEqual(s, 3000) {
@@ -27,7 +27,7 @@ func TestWaterfillEqualSplitUnderCaps(t *testing.T) {
 
 func TestWaterfillCapsAndRedistributes(t *testing.T) {
 	// One small-cap job: its surplus flows to the others.
-	jobs := []*plannedJob{pj(1000), pj(4500), pj(4500)}
+	jobs := []*PlannedJob{pj(1000), pj(4500), pj(4500)}
 	shares := waterfillJobs(jobs, 9000)
 	if !res.AlmostEqual(shares[0], 1000) {
 		t.Errorf("capped job share %v, want 1000", shares[0])
@@ -38,7 +38,7 @@ func TestWaterfillCapsAndRedistributes(t *testing.T) {
 }
 
 func TestWaterfillAbundantCapacity(t *testing.T) {
-	jobs := []*plannedJob{pj(4500), pj(4500)}
+	jobs := []*PlannedJob{pj(4500), pj(4500)}
 	shares := waterfillJobs(jobs, 100000)
 	for i, s := range shares {
 		if !res.AlmostEqual(s, 4500) {
@@ -51,7 +51,7 @@ func TestWaterfillEdgeCases(t *testing.T) {
 	if got := waterfillJobs(nil, 1000); len(got) != 0 {
 		t.Error("empty jobs produced shares")
 	}
-	shares := waterfillJobs([]*plannedJob{pj(4500)}, 0)
+	shares := waterfillJobs([]*PlannedJob{pj(4500)}, 0)
 	if shares[0] != 0 {
 		t.Errorf("zero capacity granted %v", shares[0])
 	}
@@ -63,7 +63,7 @@ func TestWaterfillProperty(t *testing.T) {
 	f := func(nRaw uint8, capRaw uint32, caps []uint16) bool {
 		n := int(nRaw%8) + 1
 		capacity := res.CPU(capRaw % 100000)
-		jobs := make([]*plannedJob, n)
+		jobs := make([]*PlannedJob, n)
 		for i := range jobs {
 			c := res.CPU(1000)
 			if i < len(caps) {
@@ -74,7 +74,7 @@ func TestWaterfillProperty(t *testing.T) {
 		shares := waterfillJobs(jobs, capacity)
 		var sum res.CPU
 		for i, s := range shares {
-			if s < 0 || s > jobs[i].info.MaxSpeed*(1+1e-9) {
+			if s < 0 || s > jobs[i].Info.MaxSpeed*(1+1e-9) {
 				return false
 			}
 			sum += s
@@ -88,8 +88,8 @@ func TestWaterfillProperty(t *testing.T) {
 
 func TestJobLessOrdering(t *testing.T) {
 	now := 1000.0
-	mk := func(id string, goal float64, state batch.State, submitted float64) *plannedJob {
-		return &plannedJob{info: JobInfo{
+	mk := func(id string, goal float64, state batch.State, submitted float64) *PlannedJob {
+		return &PlannedJob{Info: JobInfo{
 			ID: batch.JobID(id), Goal: goal, State: state,
 			Remaining: res.Work(4500 * 100), MaxSpeed: 4500, Submitted: submitted,
 		}}
@@ -100,17 +100,17 @@ func TestJobLessOrdering(t *testing.T) {
 	runningTie := mk("running", 1200, batch.Running, 9) // same laxity as urgent
 	earlyTie := mk("early", 1200, batch.Pending, 1)     // same laxity, earlier submit
 
-	jobs := []*plannedJob{relaxed, urgent, runningTie, earlyTie}
+	jobs := []*PlannedJob{relaxed, urgent, runningTie, earlyTie}
 	less := jobLess(now)
 	sort.SliceStable(jobs, func(i, j int) bool { return less(jobs[i], jobs[j]) })
 
 	// Running wins the laxity tie; then earlier submission; relaxed last.
 	wantOrder := []string{"running", "early", "urgent", "relaxed"}
 	for i, w := range wantOrder {
-		if string(jobs[i].info.ID) != w {
+		if string(jobs[i].Info.ID) != w {
 			t.Fatalf("position %d = %v, want %v (full order: %v %v %v %v)",
-				i, jobs[i].info.ID, w,
-				jobs[0].info.ID, jobs[1].info.ID, jobs[2].info.ID, jobs[3].info.ID)
+				i, jobs[i].Info.ID, w,
+				jobs[0].Info.ID, jobs[1].Info.ID, jobs[2].Info.ID, jobs[3].Info.ID)
 		}
 	}
 }

@@ -1,0 +1,158 @@
+package core
+
+import (
+	"slaplace/internal/res"
+	"slaplace/internal/utility"
+	"slaplace/internal/workload/batch"
+	"slaplace/internal/workload/trans"
+)
+
+// The placement controller is a staged pipeline. Each control cycle a
+// fresh planContext is threaded through the phases in order:
+//
+//	targets         demand prediction and hypothetical-utility
+//	                equalization; opens the ledgers and seeds the
+//	                residency of running jobs (state.go, utility pkg)
+//	web-placement   instance presence and reserved web share per node
+//	                (place_web.go)
+//	job-placement   the job run-set: who runs where, who is suspended,
+//	                who waits (place_jobs.go)
+//	shares          per-node CPU division: waterfill over placed jobs,
+//	                surplus back to the web tier (shares.go)
+//	rebalance       bounded live migrations for starved running jobs
+//	                (rebalance.go)
+//	emit            translate the planning records into the action
+//	                list and the recorder predictions (emit.go)
+//
+// Phases communicate only through the context — each reads what
+// earlier phases wrote — which makes them individually testable: build
+// a context with newPlanContext, run a prefix of the pipeline, and
+// inspect the books.
+
+// Phase is one named stage of the placement pipeline.
+type Phase struct {
+	Name string
+	Run  func(*planContext)
+}
+
+// planContext carries one planning pass's working state through the
+// pipeline phases (configuration lives on the controller itself).
+type planContext struct {
+	st   *State
+	plan *Plan
+
+	ledgers *Ledgers
+	planned []*PlannedJob
+
+	// Phase-1 products consumed downstream.
+	appCurves []utility.Curve
+	appTarget map[trans.AppID]res.CPU
+}
+
+// newPlanContext opens a planning pass: empty plan, empty books.
+func newPlanContext(st *State) *planContext {
+	return &planContext{
+		st:      st,
+		plan:    NewPlan(),
+		ledgers: NewLedgers(st.Nodes),
+	}
+}
+
+// Pipeline returns the controller's phases in execution order.
+func (c *PlacementController) Pipeline() []Phase {
+	return []Phase{
+		{"targets", c.phaseTargets},
+		{"web-placement", c.phaseWebPlacement},
+		{"job-placement", c.phaseJobPlacement},
+		{"shares", c.phaseShares},
+		{"rebalance", c.phaseRebalance},
+		{"emit", c.phaseEmit},
+	}
+}
+
+// PhaseNames lists the pipeline's stage names in order, for
+// introspection and logging.
+func (c *PlacementController) PhaseNames() []string {
+	phases := c.Pipeline()
+	names := make([]string, len(phases))
+	for i, ph := range phases {
+		names[i] = ph.Name
+	}
+	return names
+}
+
+// Plan implements Controller by running the full pipeline.
+func (c *PlacementController) Plan(st *State) *Plan {
+	ctx := newPlanContext(st)
+	for _, ph := range c.Pipeline() {
+		ph.Run(ctx)
+	}
+	return ctx.plan
+}
+
+// phaseTargets builds the utility curves, equalizes hypothetical
+// utility over the cluster's total CPU power (the continuous,
+// placement-oblivious allocation of the paper's §2), records the
+// demand/prediction series, and opens the planning records: one ledger
+// per node with running jobs' residency seeded, one PlannedJob per
+// incomplete job carrying its equalized target.
+func (c *PlacementController) phaseTargets(ctx *planContext) {
+	st, plan := ctx.st, ctx.plan
+
+	ctx.appCurves = make([]utility.Curve, len(st.Apps))
+	for i := range st.Apps {
+		ctx.appCurves[i] = st.Apps[i].Curve()
+	}
+	jobCurves := make([]utility.Curve, len(st.Jobs))
+	for i := range st.Jobs {
+		jobCurves[i] = st.Jobs[i].Curve(st.Now)
+	}
+	all := append(append([]utility.Curve{}, ctx.appCurves...), jobCurves...)
+	eq := utility.Equalize(all, st.TotalCPU())
+	plan.EqualizedUtility = eq.Equalized
+
+	ctx.appTarget = make(map[trans.AppID]res.CPU, len(st.Apps))
+	for i := range st.Apps {
+		ctx.appTarget[st.Apps[i].ID] = eq.Shares[i].Alloc
+		plan.AppDemand[st.Apps[i].ID] = ctx.appCurves[i].MaxUseful()
+	}
+	jobTarget := make(map[batch.JobID]res.CPU, len(st.Jobs))
+	var jobUtilSum float64
+	classSum := map[string]float64{}
+	classN := map[string]int{}
+	for i := range st.Jobs {
+		sh := eq.Shares[len(st.Apps)+i]
+		jobTarget[st.Jobs[i].ID] = sh.Alloc
+		jobUtilSum += sh.Utility
+		classSum[st.Jobs[i].Class] += sh.Utility
+		classN[st.Jobs[i].Class]++
+		plan.JobDemand += jobCurves[i].MaxUseful()
+	}
+	if len(st.Jobs) > 0 {
+		plan.HypotheticalJobUtility = jobUtilSum / float64(len(st.Jobs))
+		plan.ClassHypoUtility = make(map[string]float64, len(classSum))
+		for class, sum := range classSum {
+			plan.ClassHypoUtility[class] = sum / float64(classN[class])
+		}
+	}
+
+	// Planning records, with running jobs' residency on the books.
+	ctx.planned = make([]*PlannedJob, len(st.Jobs))
+	for i := range st.Jobs {
+		pj := &PlannedJob{Info: st.Jobs[i], Target: jobTarget[st.Jobs[i].ID]}
+		ctx.planned[i] = pj
+		if pj.Info.State == batch.Running {
+			l, ok := ctx.ledgers.Get(pj.Info.Node)
+			if !ok {
+				// The hosting node vanished from the snapshot (offline
+				// or failed). Recovery is the eviction path's job — the
+				// vm manager suspends residents and the next snapshot
+				// shows the job Suspended. Until then leave it alone.
+				pj.Waiting = true
+				continue
+			}
+			l.Occupy(pj.Info)
+			pj.Node = pj.Info.Node
+		}
+	}
+}

@@ -1,0 +1,132 @@
+package core
+
+import (
+	"math"
+	"sort"
+
+	"slaplace/internal/cluster"
+	"slaplace/internal/res"
+	"slaplace/internal/workload/batch"
+)
+
+// jobLess orders jobs for placement: least laxity (most urgent) first;
+// running jobs win ties (placement inertia); then submission order.
+func jobLess(now float64) func(a, b *PlannedJob) bool {
+	return func(a, b *PlannedJob) bool {
+		la, lb := a.Info.Laxity(now), b.Info.Laxity(now)
+		if la != lb {
+			return la < lb
+		}
+		ra, rb := a.Info.State == batch.Running, b.Info.State == batch.Running
+		if ra != rb {
+			return ra
+		}
+		if a.Info.Submitted != b.Info.Submitted {
+			return a.Info.Submitted < b.Info.Submitted
+		}
+		return a.Info.ID < b.Info.ID
+	}
+}
+
+// phaseJobPlacement fixes the run-set: which jobs run where, who gets
+// suspended, who waits.
+func (c *PlacementController) phaseJobPlacement(ctx *planContext) {
+	st, ledgers := ctx.st, ctx.ledgers
+	nodeOrder := ledgers.Order()
+	order := append([]*PlannedJob{}, ctx.planned...)
+	less := jobLess(st.Now)
+	sort.SliceStable(order, func(i, j int) bool { return less(order[i], order[j]) })
+
+	for idx, pj := range order {
+		switch {
+		case pj.Suspend, pj.Waiting:
+			// Victim of a more urgent job, or stranded on a vanished
+			// node awaiting eviction; either way not placeable now.
+			continue
+		case pj.Info.State == batch.Running && (c.cfg.ChurnAware || pj.Info.Migrating):
+			// Keep in place (residency already booked by the targets
+			// phase); migrations only through the bounded rebalance
+			// pass.
+			l, _ := ledgers.Get(pj.Node)
+			l.Jobs = append(l.Jobs, pj)
+		case pj.Info.State == batch.Running:
+			// Churn-oblivious ablation: re-pick the node from scratch
+			// and migrate whenever the choice differs.
+			src, _ := ledgers.Get(pj.Node)
+			src.Release(pj.Info)
+			node := c.pickNode(pj, ledgers, nodeOrder)
+			if node == "" || node == pj.Info.Node {
+				node = pj.Info.Node
+			} else {
+				pj.Migrate = true
+			}
+			pj.Node = node
+			l, _ := ledgers.Get(node)
+			l.AddJob(pj)
+		default: // Pending or Suspended: place if memory allows.
+			node := c.pickNode(pj, ledgers, nodeOrder)
+			if node == "" {
+				// Try suspending the least urgent unconfirmed running
+				// job to make room.
+				node = c.evictVictim(st, pj, order[idx+1:], ledgers)
+			}
+			if node == "" {
+				pj.Waiting = true
+				continue
+			}
+			l, _ := ledgers.Get(node)
+			l.AddJob(pj)
+			pj.Node = node
+			pj.PlacedNew = true
+		}
+	}
+}
+
+// pickNode selects the node for a new placement: feasible memory,
+// fewest planned jobs (count balance), then most free memory, then
+// node order. Returns "" when nothing fits.
+func (c *PlacementController) pickNode(pj *PlannedJob, ledgers *Ledgers, nodeOrder []cluster.NodeID) cluster.NodeID {
+	var best cluster.NodeID
+	bestJobs := math.MaxInt
+	var bestFree res.Memory = -1
+	for _, n := range nodeOrder {
+		l, _ := ledgers.Get(n)
+		if l.FreeMem() < pj.Info.Mem {
+			continue
+		}
+		nj := len(l.Jobs)
+		free := l.FreeMem()
+		if nj < bestJobs || (nj == bestJobs && free > bestFree) {
+			best, bestJobs, bestFree = n, nj, free
+		}
+	}
+	return best
+}
+
+// evictVictim suspends the least urgent not-yet-confirmed running job
+// whose departure lets pj fit on its node, subject to the eviction
+// hysteresis margin. rest is the tail of the priority order (strictly
+// less urgent jobs). Returns the freed node, or "".
+func (c *PlacementController) evictVictim(st *State, pj *PlannedJob, rest []*PlannedJob, ledgers *Ledgers) cluster.NodeID {
+	candLax := pj.Info.Laxity(st.Now)
+	// Walk the tail from the least urgent end.
+	for i := len(rest) - 1; i >= 0; i-- {
+		victim := rest[i]
+		if victim.Info.State != batch.Running || victim.Suspend {
+			continue
+		}
+		if candLax > victim.Info.Laxity(st.Now)-c.cfg.EvictionMargin {
+			// Not enough urgency advantage to justify a suspend/resume
+			// round trip; later victims are even more urgent, stop.
+			return ""
+		}
+		l, _ := ledgers.Get(victim.Node)
+		if l.FreeMem()+victim.Info.Mem < pj.Info.Mem {
+			continue
+		}
+		victim.Suspend = true
+		l.Release(victim.Info)
+		return victim.Node
+	}
+	return ""
+}

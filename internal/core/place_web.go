@@ -1,0 +1,165 @@
+package core
+
+import (
+	"math"
+	"sort"
+
+	"slaplace/internal/cluster"
+	"slaplace/internal/res"
+	"slaplace/internal/workload/trans"
+)
+
+// phaseWebPlacement decides instance presence and the reserved web
+// share per node, emitting Add/Remove actions (their final shares are
+// settled by the emit phase).
+func (c *PlacementController) phaseWebPlacement(ctx *planContext) {
+	st, plan, ledgers := ctx.st, ctx.plan, ctx.ledgers
+	nodeOrder := ledgers.Order()
+	for ai := range st.Apps {
+		app := &st.Apps[ai]
+		target := ctx.appTarget[app.ID]
+
+		// Desired instance count.
+		needed := 0
+		if app.MaxPerInstance > 0 {
+			needed = int(math.Ceil(float64(target) / float64(app.MaxPerInstance)))
+		}
+		if needed < app.MinInstances {
+			needed = app.MinInstances
+		}
+		if needed < 1 && target > 0 {
+			needed = 1
+		}
+		if app.MaxInstances > 0 && needed > app.MaxInstances {
+			needed = app.MaxInstances
+		}
+		if needed > len(nodeOrder) {
+			needed = len(nodeOrder)
+		}
+
+		// Keep current instances, highest-share first.
+		type inst struct {
+			node  cluster.NodeID
+			share res.CPU
+		}
+		var current []inst
+		for n, s := range app.Instances {
+			if _, ok := ledgers.Get(n); !ok {
+				continue // node offline; instance is already gone
+			}
+			current = append(current, inst{n, s})
+		}
+		sort.Slice(current, func(i, j int) bool {
+			if current[i].share != current[j].share {
+				return current[i].share > current[j].share
+			}
+			return current[i].node < current[j].node
+		})
+
+		kept := make([]cluster.NodeID, 0, needed)
+		for _, in := range current {
+			if len(kept) < needed {
+				kept = append(kept, in.node)
+			} else {
+				plan.Actions = append(plan.Actions, RemoveInstance{App: app.ID, Node: in.node})
+			}
+		}
+		// Account kept instances' memory (they are resident already, so
+		// this mirrors reality rather than reserving anew — the ledger
+		// starts empty for web, unlike for running jobs, so add it).
+		for _, n := range kept {
+			l, _ := ledgers.Get(n)
+			l.MemUsed += app.InstanceMem
+		}
+		// Add instances on the emptiest feasible nodes.
+		if len(kept) < needed {
+			hasInst := make(map[cluster.NodeID]bool, len(kept))
+			for _, n := range kept {
+				hasInst[n] = true
+			}
+			cands := make([]cluster.NodeID, 0, len(nodeOrder))
+			for _, n := range nodeOrder {
+				l, _ := ledgers.Get(n)
+				if !hasInst[n] && l.FreeMem() >= app.InstanceMem {
+					cands = append(cands, n)
+				}
+			}
+			sort.SliceStable(cands, func(i, j int) bool {
+				li, _ := ledgers.Get(cands[i])
+				lj, _ := ledgers.Get(cands[j])
+				if li.FreeMem() != lj.FreeMem() {
+					return li.FreeMem() > lj.FreeMem()
+				}
+				return cands[i] < cands[j]
+			})
+			for _, n := range cands {
+				if len(kept) >= needed {
+					break
+				}
+				kept = append(kept, n)
+				l, _ := ledgers.Get(n)
+				l.MemUsed += app.InstanceMem
+				plan.Actions = append(plan.Actions, AddInstance{App: app.ID, Node: n})
+			}
+		}
+		if len(kept) == 0 {
+			plan.AppTarget[app.ID] = 0
+			continue
+		}
+		// Equal split of the target, capped per instance.
+		per := res.Min(target/res.CPU(len(kept)), app.MaxPerInstance)
+		for _, n := range kept {
+			l, _ := ledgers.Get(n)
+			share := res.Min(per, l.Info.CPU)
+			l.WebShare += share
+			l.WebApps[app.ID] += share
+		}
+	}
+}
+
+// spreadWebSurplus gives a node's leftover CPU to its web instances,
+// proportionally to their planned shares, capped per instance and by
+// each app's remaining useful demand.
+func (c *PlacementController) spreadWebSurplus(ctx *planContext, l *Ledger, surplus res.CPU, appAlloc map[trans.AppID]res.CPU) {
+	st, plan := ctx.st, ctx.plan
+	// Deterministic app order.
+	ids := make([]trans.AppID, 0, len(l.WebApps))
+	for id := range l.WebApps {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	var totalShare res.CPU
+	for _, id := range ids {
+		totalShare += l.WebApps[id]
+	}
+	for _, id := range ids {
+		if surplus <= 0 {
+			break
+		}
+		var instCap res.CPU
+		for ai := range st.Apps {
+			if st.Apps[ai].ID == id {
+				instCap = st.Apps[ai].MaxPerInstance
+				break
+			}
+		}
+		cur := l.WebApps[id]
+		frac := res.CPU(1)
+		if totalShare > 0 {
+			frac = cur / totalShare
+		} else {
+			frac = res.CPU(1) / res.CPU(len(ids))
+		}
+		grant := res.Min(surplus*frac, instCap-cur)
+		if gap := plan.AppDemand[id] - appAlloc[id]; grant > gap {
+			grant = gap
+		}
+		if grant < 0 {
+			grant = 0
+		}
+		l.WebApps[id] = cur + grant
+		l.WebShare += grant
+		appAlloc[id] += grant
+		surplus -= grant
+	}
+}

@@ -2,14 +2,6 @@ package core
 
 import (
 	"fmt"
-	"math"
-	"sort"
-
-	"slaplace/internal/cluster"
-	"slaplace/internal/res"
-	"slaplace/internal/utility"
-	"slaplace/internal/workload/batch"
-	"slaplace/internal/workload/trans"
 )
 
 // Config tunes the placement controller. The zero value is NOT valid;
@@ -72,7 +64,7 @@ func (c Config) Validate() error {
 }
 
 // PlacementController is the paper's utility-driven placement
-// controller.
+// controller, implemented as the staged pipeline in pipeline.go.
 type PlacementController struct {
 	cfg Config
 }
@@ -90,615 +82,3 @@ func New(cfg Config) *PlacementController {
 
 // Name implements Controller.
 func (c *PlacementController) Name() string { return "utility-placement" }
-
-// ledger tracks planned occupancy of one node during a planning pass.
-type ledger struct {
-	info     NodeInfo
-	memUsed  res.Memory
-	webShare res.CPU                 // planned web share (reserved)
-	jobs     []*plannedJob           // jobs planned to run here
-	webApps  map[trans.AppID]res.CPU // planned instance share per app
-}
-
-func (l *ledger) freeMem() res.Memory { return l.info.Mem - l.memUsed }
-
-// plannedJob is the planning record for one incomplete job.
-type plannedJob struct {
-	info      JobInfo
-	target    res.CPU // equalized hypothetical allocation
-	node      cluster.NodeID
-	share     res.CPU // final planned share
-	placedNew bool    // Start/Resume this cycle
-	migrate   bool    // live-migrate from info.Node to node
-	suspend   bool    // planned suspension (victim)
-	waiting   bool    // could not be placed
-}
-
-// Plan implements Controller. See the package comment for the phases.
-func (c *PlacementController) Plan(st *State) *Plan {
-	plan := &Plan{
-		AppPrediction: make(map[trans.AppID]float64),
-		AppDemand:     make(map[trans.AppID]res.CPU),
-		AppTarget:     make(map[trans.AppID]res.CPU),
-	}
-
-	// ---- Phase 1: curves + hypothetical-utility equalization.
-	appCurves := make([]utility.Curve, len(st.Apps))
-	for i := range st.Apps {
-		appCurves[i] = st.Apps[i].Curve()
-	}
-	jobCurves := make([]utility.Curve, len(st.Jobs))
-	for i := range st.Jobs {
-		jobCurves[i] = st.Jobs[i].Curve(st.Now)
-	}
-	all := append(append([]utility.Curve{}, appCurves...), jobCurves...)
-	eq := utility.Equalize(all, st.TotalCPU())
-	plan.EqualizedUtility = eq.Equalized
-
-	appTarget := make(map[trans.AppID]res.CPU, len(st.Apps))
-	for i := range st.Apps {
-		appTarget[st.Apps[i].ID] = eq.Shares[i].Alloc
-		plan.AppDemand[st.Apps[i].ID] = appCurves[i].MaxUseful()
-	}
-	jobTarget := make(map[batch.JobID]res.CPU, len(st.Jobs))
-	var jobUtilSum float64
-	classSum := map[string]float64{}
-	classN := map[string]int{}
-	for i := range st.Jobs {
-		sh := eq.Shares[len(st.Apps)+i]
-		jobTarget[st.Jobs[i].ID] = sh.Alloc
-		jobUtilSum += sh.Utility
-		classSum[st.Jobs[i].Class] += sh.Utility
-		classN[st.Jobs[i].Class]++
-		plan.JobDemand += jobCurves[i].MaxUseful()
-	}
-	if len(st.Jobs) > 0 {
-		plan.HypotheticalJobUtility = jobUtilSum / float64(len(st.Jobs))
-		plan.ClassHypoUtility = make(map[string]float64, len(classSum))
-		for class, sum := range classSum {
-			plan.ClassHypoUtility[class] = sum / float64(classN[class])
-		}
-	}
-
-	// ---- Phase 2: planning ledger seeded with running jobs' residency.
-	ledgers := make(map[cluster.NodeID]*ledger, len(st.Nodes))
-	nodeOrder := make([]cluster.NodeID, 0, len(st.Nodes))
-	for _, n := range st.Nodes {
-		ledgers[n.ID] = &ledger{info: n, webApps: make(map[trans.AppID]res.CPU)}
-		nodeOrder = append(nodeOrder, n.ID)
-	}
-	planned := make([]*plannedJob, len(st.Jobs))
-	for i := range st.Jobs {
-		pj := &plannedJob{info: st.Jobs[i], target: jobTarget[st.Jobs[i].ID]}
-		planned[i] = pj
-		if pj.info.State == batch.Running {
-			l, ok := ledgers[pj.info.Node]
-			if !ok {
-				// The hosting node vanished from the snapshot (offline
-				// or failed). Recovery is the eviction path's job — the
-				// vm manager suspends residents and the next snapshot
-				// shows the job Suspended. Until then leave it alone.
-				pj.waiting = true
-				continue
-			}
-			l.memUsed += pj.info.Mem
-			pj.node = pj.info.Node
-		}
-	}
-
-	// ---- Phase 3: web instance planning (presence + reserved share).
-	c.planInstances(st, plan, ledgers, nodeOrder, appTarget)
-
-	// ---- Phase 4: job run-set and placement under memory constraints.
-	c.placeJobs(st, planned, ledgers, nodeOrder)
-
-	// ---- Phase 5: per-node CPU division and share fix-up.
-	c.assignShares(st, plan, planned, ledgers, nodeOrder)
-
-	// ---- Phase 6: emit job actions from the planning records.
-	c.emitJobActions(plan, planned)
-
-	// Predictions for the recorder.
-	for i := range st.Apps {
-		id := st.Apps[i].ID
-		plan.AppPrediction[id] = appCurves[i].UtilityAt(plan.AppTarget[id])
-	}
-	for _, pj := range planned {
-		plan.JobTarget += pj.share
-	}
-	return plan
-}
-
-// planInstances decides instance presence and the reserved web share
-// per node, emitting Add/Remove/SetInstanceShare actions.
-func (c *PlacementController) planInstances(st *State, plan *Plan, ledgers map[cluster.NodeID]*ledger, nodeOrder []cluster.NodeID, appTarget map[trans.AppID]res.CPU) {
-	for ai := range st.Apps {
-		app := &st.Apps[ai]
-		target := appTarget[app.ID]
-
-		// Desired instance count.
-		needed := 0
-		if app.MaxPerInstance > 0 {
-			needed = int(math.Ceil(float64(target) / float64(app.MaxPerInstance)))
-		}
-		if needed < app.MinInstances {
-			needed = app.MinInstances
-		}
-		if needed < 1 && target > 0 {
-			needed = 1
-		}
-		if app.MaxInstances > 0 && needed > app.MaxInstances {
-			needed = app.MaxInstances
-		}
-		if needed > len(nodeOrder) {
-			needed = len(nodeOrder)
-		}
-
-		// Keep current instances, highest-share first.
-		type inst struct {
-			node  cluster.NodeID
-			share res.CPU
-		}
-		var current []inst
-		for n, s := range app.Instances {
-			if _, ok := ledgers[n]; !ok {
-				continue // node offline; instance is already gone
-			}
-			current = append(current, inst{n, s})
-		}
-		sort.Slice(current, func(i, j int) bool {
-			if current[i].share != current[j].share {
-				return current[i].share > current[j].share
-			}
-			return current[i].node < current[j].node
-		})
-
-		kept := make([]cluster.NodeID, 0, needed)
-		for _, in := range current {
-			if len(kept) < needed {
-				kept = append(kept, in.node)
-			} else {
-				plan.Actions = append(plan.Actions, RemoveInstance{App: app.ID, Node: in.node})
-			}
-		}
-		// Account kept instances' memory (they are resident already, so
-		// this mirrors reality rather than reserving anew — the ledger
-		// starts empty for web, unlike for running jobs, so add it).
-		for _, n := range kept {
-			ledgers[n].memUsed += app.InstanceMem
-		}
-		// Add instances on the emptiest feasible nodes.
-		if len(kept) < needed {
-			hasInst := make(map[cluster.NodeID]bool, len(kept))
-			for _, n := range kept {
-				hasInst[n] = true
-			}
-			cands := make([]cluster.NodeID, 0, len(nodeOrder))
-			for _, n := range nodeOrder {
-				if !hasInst[n] && ledgers[n].freeMem() >= app.InstanceMem {
-					cands = append(cands, n)
-				}
-			}
-			sort.SliceStable(cands, func(i, j int) bool {
-				li, lj := ledgers[cands[i]], ledgers[cands[j]]
-				if li.freeMem() != lj.freeMem() {
-					return li.freeMem() > lj.freeMem()
-				}
-				return cands[i] < cands[j]
-			})
-			for _, n := range cands {
-				if len(kept) >= needed {
-					break
-				}
-				kept = append(kept, n)
-				ledgers[n].memUsed += app.InstanceMem
-				plan.Actions = append(plan.Actions, AddInstance{App: app.ID, Node: n})
-			}
-		}
-		if len(kept) == 0 {
-			plan.AppTarget[app.ID] = 0
-			continue
-		}
-		// Equal split of the target, capped per instance.
-		per := res.Min(target/res.CPU(len(kept)), app.MaxPerInstance)
-		for _, n := range kept {
-			l := ledgers[n]
-			share := res.Min(per, l.info.CPU)
-			l.webShare += share
-			l.webApps[app.ID] += share
-		}
-	}
-}
-
-// jobLess orders jobs for placement: least laxity (most urgent) first;
-// running jobs win ties (placement inertia); then submission order.
-func jobLess(now float64) func(a, b *plannedJob) bool {
-	return func(a, b *plannedJob) bool {
-		la, lb := a.info.Laxity(now), b.info.Laxity(now)
-		if la != lb {
-			return la < lb
-		}
-		ra, rb := a.info.State == batch.Running, b.info.State == batch.Running
-		if ra != rb {
-			return ra
-		}
-		if a.info.Submitted != b.info.Submitted {
-			return a.info.Submitted < b.info.Submitted
-		}
-		return a.info.ID < b.info.ID
-	}
-}
-
-// placeJobs fixes the run-set: which jobs run where, who gets
-// suspended, who waits.
-func (c *PlacementController) placeJobs(st *State, planned []*plannedJob, ledgers map[cluster.NodeID]*ledger, nodeOrder []cluster.NodeID) {
-	order := append([]*plannedJob{}, planned...)
-	less := jobLess(st.Now)
-	sort.SliceStable(order, func(i, j int) bool { return less(order[i], order[j]) })
-
-	for idx, pj := range order {
-		switch {
-		case pj.suspend, pj.waiting:
-			// Victim of a more urgent job, or stranded on a vanished
-			// node awaiting eviction; either way not placeable now.
-			continue
-		case pj.info.State == batch.Running && (c.cfg.ChurnAware || pj.info.Migrating):
-			// Keep in place; migrations only through the bounded
-			// rebalance pass.
-			l := ledgers[pj.node]
-			l.jobs = append(l.jobs, pj)
-		case pj.info.State == batch.Running:
-			// Churn-oblivious ablation: re-pick the node from scratch
-			// and migrate whenever the choice differs.
-			src := ledgers[pj.node]
-			src.memUsed -= pj.info.Mem
-			node := c.pickNode(pj, ledgers, nodeOrder)
-			if node == "" || node == pj.info.Node {
-				node = pj.info.Node
-			} else {
-				pj.migrate = true
-			}
-			pj.node = node
-			l := ledgers[node]
-			l.memUsed += pj.info.Mem
-			l.jobs = append(l.jobs, pj)
-		default: // Pending or Suspended: place if memory allows.
-			node := c.pickNode(pj, ledgers, nodeOrder)
-			if node == "" {
-				// Try suspending the least urgent unconfirmed running
-				// job to make room.
-				node = c.evictVictim(st, pj, order[idx+1:], ledgers)
-			}
-			if node == "" {
-				pj.waiting = true
-				continue
-			}
-			l := ledgers[node]
-			l.memUsed += pj.info.Mem
-			l.jobs = append(l.jobs, pj)
-			pj.node = node
-			pj.placedNew = true
-		}
-	}
-}
-
-// pickNode selects the node for a new placement: feasible memory,
-// fewest planned jobs (count balance), then most free memory, then
-// node order. Returns "" when nothing fits.
-func (c *PlacementController) pickNode(pj *plannedJob, ledgers map[cluster.NodeID]*ledger, nodeOrder []cluster.NodeID) cluster.NodeID {
-	var best cluster.NodeID
-	bestJobs := math.MaxInt
-	var bestFree res.Memory = -1
-	for _, n := range nodeOrder {
-		l := ledgers[n]
-		if l.freeMem() < pj.info.Mem {
-			continue
-		}
-		nj := len(l.jobs)
-		free := l.freeMem()
-		if nj < bestJobs || (nj == bestJobs && free > bestFree) {
-			best, bestJobs, bestFree = n, nj, free
-		}
-	}
-	return best
-}
-
-// evictVictim suspends the least urgent not-yet-confirmed running job
-// whose departure lets pj fit on its node, subject to the eviction
-// hysteresis margin. rest is the tail of the priority order (strictly
-// less urgent jobs). Returns the freed node, or "".
-func (c *PlacementController) evictVictim(st *State, pj *plannedJob, rest []*plannedJob, ledgers map[cluster.NodeID]*ledger) cluster.NodeID {
-	candLax := pj.info.Laxity(st.Now)
-	// Walk the tail from the least urgent end.
-	for i := len(rest) - 1; i >= 0; i-- {
-		victim := rest[i]
-		if victim.info.State != batch.Running || victim.suspend {
-			continue
-		}
-		if candLax > victim.info.Laxity(st.Now)-c.cfg.EvictionMargin {
-			// Not enough urgency advantage to justify a suspend/resume
-			// round trip; later victims are even more urgent, stop.
-			return ""
-		}
-		l := ledgers[victim.node]
-		if l.freeMem()+victim.info.Mem < pj.info.Mem {
-			continue
-		}
-		victim.suspend = true
-		l.memUsed -= victim.info.Mem
-		return victim.node
-	}
-	return ""
-}
-
-// assignShares divides each node's CPU between its reserved web share
-// and its planned jobs (waterfill up to each job's cap), then feeds any
-// surplus back to the web instances, and finally settles the migration
-// rebalance pass.
-func (c *PlacementController) assignShares(st *State, plan *Plan, planned []*plannedJob, ledgers map[cluster.NodeID]*ledger, nodeOrder []cluster.NodeID) {
-	// Track each app's planned total so surplus feeding never pushes an
-	// app beyond its maximum useful demand (extra CPU there is wasted).
-	appAlloc := make(map[trans.AppID]res.CPU)
-	for _, n := range nodeOrder {
-		for id, s := range ledgers[n].webApps {
-			appAlloc[id] += s
-		}
-	}
-	for _, n := range nodeOrder {
-		l := ledgers[n]
-		available := l.info.CPU - l.webShare
-		if available < 0 {
-			available = 0
-		}
-		shares := waterfillJobs(l.jobs, available)
-		var used res.CPU
-		for i, pj := range l.jobs {
-			pj.share = shares[i]
-			used += shares[i]
-		}
-		// Surplus back to this node's web instances (up to per-instance
-		// caps and app demand): jobs all capped and CPU remains.
-		surplus := available - used
-		if surplus > 0 && len(l.webApps) > 0 {
-			c.spreadWebSurplus(st, plan, l, surplus, appAlloc)
-		}
-	}
-
-	// Migration rebalance: running jobs starving on a crowded node move
-	// to nodes that can host them with materially better shares.
-	if c.cfg.MaxMigrationsPerCycle > 0 {
-		c.rebalance(st, planned, ledgers, nodeOrder)
-	}
-
-	// Final web share accounting per app.
-	for _, n := range nodeOrder {
-		l := ledgers[n]
-		for id, s := range l.webApps {
-			plan.AppTarget[id] += s
-		}
-	}
-	// Emit web share-change actions.
-	c.emitWebShares(st, plan, ledgers)
-}
-
-// waterfillJobs divides capacity among jobs, each capped at its target
-// ceiling: the job's max speed (a running job may receive more than its
-// hypothetical target because only placed jobs can use real CPU).
-func waterfillJobs(jobs []*plannedJob, capacity res.CPU) []res.CPU {
-	shares := make([]res.CPU, len(jobs))
-	if len(jobs) == 0 || capacity <= 0 {
-		return shares
-	}
-	remaining := capacity
-	active := make([]int, 0, len(jobs))
-	for i := range jobs {
-		active = append(active, i)
-	}
-	for len(active) > 0 && remaining > 1e-9 {
-		per := remaining / res.CPU(len(active))
-		var next []int
-		var handed res.CPU
-		for _, i := range active {
-			speedCap := jobs[i].info.MaxSpeed
-			want := speedCap - shares[i]
-			if want <= per {
-				shares[i] = speedCap
-				handed += want
-			} else {
-				shares[i] += per
-				handed += per
-				next = append(next, i)
-			}
-		}
-		remaining -= handed
-		if len(next) == len(active) {
-			break // nobody capped; equal split is final
-		}
-		active = next
-	}
-	return shares
-}
-
-// spreadWebSurplus gives a node's leftover CPU to its web instances,
-// proportionally to their planned shares, capped per instance and by
-// each app's remaining useful demand.
-func (c *PlacementController) spreadWebSurplus(st *State, plan *Plan, l *ledger, surplus res.CPU, appAlloc map[trans.AppID]res.CPU) {
-	// Deterministic app order.
-	ids := make([]trans.AppID, 0, len(l.webApps))
-	for id := range l.webApps {
-		ids = append(ids, id)
-	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	var totalShare res.CPU
-	for _, id := range ids {
-		totalShare += l.webApps[id]
-	}
-	for _, id := range ids {
-		if surplus <= 0 {
-			break
-		}
-		var instCap res.CPU
-		for ai := range st.Apps {
-			if st.Apps[ai].ID == id {
-				instCap = st.Apps[ai].MaxPerInstance
-				break
-			}
-		}
-		cur := l.webApps[id]
-		frac := res.CPU(1)
-		if totalShare > 0 {
-			frac = cur / totalShare
-		} else {
-			frac = res.CPU(1) / res.CPU(len(ids))
-		}
-		grant := res.Min(surplus*frac, instCap-cur)
-		if gap := plan.AppDemand[id] - appAlloc[id]; grant > gap {
-			grant = gap
-		}
-		if grant < 0 {
-			grant = 0
-		}
-		l.webApps[id] = cur + grant
-		l.webShare += grant
-		appAlloc[id] += grant
-		surplus -= grant
-	}
-}
-
-// rebalance plans live migrations for running jobs whose share on their
-// node falls far below target while another node could do much better.
-func (c *PlacementController) rebalance(st *State, planned []*plannedJob, ledgers map[cluster.NodeID]*ledger, nodeOrder []cluster.NodeID) {
-	migrations := 0
-	// Most starved first: ascending share/target ratio.
-	cands := make([]*plannedJob, 0, len(planned))
-	for _, pj := range planned {
-		if pj.info.State != batch.Running || pj.suspend || pj.waiting || pj.placedNew || pj.info.Migrating {
-			continue
-		}
-		want := res.Min(pj.target, pj.info.MaxSpeed)
-		if want <= 0 {
-			continue
-		}
-		if pj.share < res.CPU(c.cfg.MigrationThreshold)*want {
-			cands = append(cands, pj)
-		}
-	}
-	sort.SliceStable(cands, func(i, j int) bool {
-		ri := float64(cands[i].share) / float64(res.Min(cands[i].target, cands[i].info.MaxSpeed))
-		rj := float64(cands[j].share) / float64(res.Min(cands[j].target, cands[j].info.MaxSpeed))
-		if ri != rj {
-			return ri < rj
-		}
-		return cands[i].info.ID < cands[j].info.ID
-	})
-	for _, pj := range cands {
-		if migrations >= c.cfg.MaxMigrationsPerCycle {
-			break
-		}
-		var best cluster.NodeID
-		var bestShare res.CPU
-		for _, n := range nodeOrder {
-			if n == pj.node {
-				continue
-			}
-			l := ledgers[n]
-			if l.freeMem() < pj.info.Mem {
-				continue
-			}
-			avail := l.info.CPU - l.webShare
-			var jobsShare res.CPU
-			for _, other := range l.jobs {
-				jobsShare += other.share
-			}
-			projected := res.Min(avail-jobsShare, pj.info.MaxSpeed)
-			if projected > bestShare {
-				best, bestShare = n, projected
-			}
-		}
-		if best == "" || float64(bestShare) < c.cfg.MigrationGain*float64(pj.share) {
-			continue
-		}
-		src := ledgers[pj.node]
-		// Remove from the source ledger.
-		for i, other := range src.jobs {
-			if other == pj {
-				src.jobs = append(src.jobs[:i], src.jobs[i+1:]...)
-				break
-			}
-		}
-		src.memUsed -= pj.info.Mem
-		dst := ledgers[best]
-		dst.memUsed += pj.info.Mem
-		dst.jobs = append(dst.jobs, pj)
-		pj.migrate = true
-		pj.node = best
-		pj.share = bestShare
-		migrations++
-	}
-}
-
-// emitWebShares emits SetInstanceShare for kept instances whose planned
-// share moved beyond tolerance, and sets shares on newly added ones by
-// rewriting their AddInstance actions.
-func (c *PlacementController) emitWebShares(st *State, plan *Plan, ledgers map[cluster.NodeID]*ledger) {
-	// Index planned shares: app -> node -> share.
-	plannedShare := make(map[trans.AppID]map[cluster.NodeID]res.CPU)
-	for n, l := range ledgers {
-		for id, s := range l.webApps {
-			if plannedShare[id] == nil {
-				plannedShare[id] = make(map[cluster.NodeID]res.CPU)
-			}
-			plannedShare[id][n] = s
-		}
-	}
-	// Rewrite AddInstance actions with final shares.
-	for i, a := range plan.Actions {
-		if add, ok := a.(AddInstance); ok {
-			add.Share = plannedShare[add.App][add.Node]
-			plan.Actions[i] = add
-		}
-	}
-	// Share changes for kept instances.
-	for ai := range st.Apps {
-		app := &st.Apps[ai]
-		nodes := app.InstanceNodes()
-		for _, n := range nodes {
-			target, ok := plannedShare[app.ID][n]
-			if !ok {
-				continue // removed this cycle
-			}
-			cur := app.Instances[n]
-			tol := res.CPU(c.cfg.ShareTolerance) * app.MaxPerInstance
-			if res.CPU(math.Abs(float64(target-cur))) > tol {
-				plan.Actions = append(plan.Actions, SetInstanceShare{App: app.ID, Node: n, Share: target})
-			}
-		}
-	}
-}
-
-// emitJobActions translates planning records into the action list.
-func (c *PlacementController) emitJobActions(plan *Plan, planned []*plannedJob) {
-	// Suspends first: the executor frees memory before filling it.
-	for _, pj := range planned {
-		if pj.suspend {
-			plan.Actions = append(plan.Actions, SuspendJob{Job: pj.info.ID})
-		}
-	}
-	for _, pj := range planned {
-		switch {
-		case pj.suspend, pj.waiting:
-			// No placement this cycle.
-		case pj.placedNew && pj.info.State == batch.Pending:
-			plan.Actions = append(plan.Actions, StartJob{Job: pj.info.ID, Node: pj.node, Share: pj.share})
-		case pj.placedNew && pj.info.State == batch.Suspended:
-			plan.Actions = append(plan.Actions, ResumeJob{Job: pj.info.ID, Node: pj.node, Share: pj.share})
-		case pj.migrate:
-			plan.Actions = append(plan.Actions, MigrateJob{Job: pj.info.ID, Dst: pj.node, Share: pj.share})
-		case pj.info.State == batch.Running:
-			tol := res.CPU(c.cfg.ShareTolerance) * pj.info.MaxSpeed
-			if res.CPU(math.Abs(float64(pj.share-pj.info.Share))) > tol {
-				plan.Actions = append(plan.Actions, SetJobShare{Job: pj.info.ID, Share: pj.share})
-			}
-		}
-	}
-}

@@ -1,0 +1,78 @@
+package core
+
+import (
+	"sort"
+
+	"slaplace/internal/cluster"
+	"slaplace/internal/res"
+	"slaplace/internal/workload/batch"
+)
+
+// phaseRebalance plans live migrations for running jobs whose share on
+// their node falls far below target while another node could do much
+// better, bounded by MaxMigrationsPerCycle.
+func (c *PlacementController) phaseRebalance(ctx *planContext) {
+	if c.cfg.MaxMigrationsPerCycle <= 0 {
+		return
+	}
+	ledgers, nodeOrder := ctx.ledgers, ctx.ledgers.Order()
+	migrations := 0
+	// Most starved first: ascending share/target ratio.
+	cands := make([]*PlannedJob, 0, len(ctx.planned))
+	for _, pj := range ctx.planned {
+		if pj.Info.State != batch.Running || pj.Suspend || pj.Waiting || pj.PlacedNew || pj.Info.Migrating {
+			continue
+		}
+		want := res.Min(pj.Target, pj.Info.MaxSpeed)
+		if want <= 0 {
+			continue
+		}
+		if pj.Share < res.CPU(c.cfg.MigrationThreshold)*want {
+			cands = append(cands, pj)
+		}
+	}
+	sort.SliceStable(cands, func(i, j int) bool {
+		ri := float64(cands[i].Share) / float64(res.Min(cands[i].Target, cands[i].Info.MaxSpeed))
+		rj := float64(cands[j].Share) / float64(res.Min(cands[j].Target, cands[j].Info.MaxSpeed))
+		if ri != rj {
+			return ri < rj
+		}
+		return cands[i].Info.ID < cands[j].Info.ID
+	})
+	for _, pj := range cands {
+		if migrations >= c.cfg.MaxMigrationsPerCycle {
+			break
+		}
+		var best cluster.NodeID
+		var bestShare res.CPU
+		for _, n := range nodeOrder {
+			if n == pj.Node {
+				continue
+			}
+			l, _ := ledgers.Get(n)
+			if l.FreeMem() < pj.Info.Mem {
+				continue
+			}
+			avail := l.FreeCPU()
+			var jobsShare res.CPU
+			for _, other := range l.Jobs {
+				jobsShare += other.Share
+			}
+			projected := res.Min(avail-jobsShare, pj.Info.MaxSpeed)
+			if projected > bestShare {
+				best, bestShare = n, projected
+			}
+		}
+		if best == "" || float64(bestShare) < c.cfg.MigrationGain*float64(pj.Share) {
+			continue
+		}
+		src, _ := ledgers.Get(pj.Node)
+		src.RemoveJob(pj)
+		dst, _ := ledgers.Get(best)
+		dst.AddJob(pj)
+		pj.Migrate = true
+		pj.Node = best
+		pj.Share = bestShare
+		migrations++
+	}
+}

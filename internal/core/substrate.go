@@ -1,0 +1,176 @@
+package core
+
+import (
+	"slaplace/internal/cluster"
+	"slaplace/internal/res"
+	"slaplace/internal/workload/batch"
+	"slaplace/internal/workload/trans"
+)
+
+// This file is the planning substrate shared by every controller: the
+// per-node occupancy ledgers, the per-job planning records, and the
+// plan bookkeeping helpers. The pipeline phases (pipeline.go) and the
+// baseline policies (internal/baseline) both plan on these books, so
+// memory/CPU accounting rules exist in exactly one place.
+
+// PlannedJob is the planning record for one incomplete job during a
+// planning pass. Phases progressively fill it in; the emission phase
+// translates the final records into actions.
+type PlannedJob struct {
+	Info      JobInfo
+	Target    res.CPU // equalized hypothetical allocation
+	Node      cluster.NodeID
+	Share     res.CPU // final planned share
+	PlacedNew bool    // Start/Resume this cycle
+	Migrate   bool    // live-migrate from Info.Node to Node
+	Suspend   bool    // planned suspension (victim)
+	Waiting   bool    // could not be placed
+}
+
+// Ledger tracks the planned occupancy of one node during a planning
+// pass. MemUsed/WebShare are debited as workloads are (re)placed;
+// FreeMem/FreeCPU report what remains plannable.
+type Ledger struct {
+	Info    NodeInfo
+	MemUsed res.Memory
+	// WebShare is the CPU reserved for the web tier on this node.
+	WebShare res.CPU
+	// JobCount counts planned jobs for policies that balance by count
+	// without keeping per-job records (the baselines).
+	JobCount int
+	// Jobs are the per-job planning records the pipeline keeps (the
+	// baselines leave it nil and use JobCount instead).
+	Jobs []*PlannedJob
+	// WebApps is the planned per-application web share on this node.
+	WebApps map[trans.AppID]res.CPU
+}
+
+// FreeMem is the memory still plannable on this node.
+func (l *Ledger) FreeMem() res.Memory { return l.Info.Mem - l.MemUsed }
+
+// FreeCPU is the CPU power not reserved for the web tier.
+func (l *Ledger) FreeCPU() res.CPU { return l.Info.CPU - l.WebShare }
+
+// Occupy books a job's residency — memory and job count — on this
+// node. Every policy must debit occupancy through Occupy/Release so
+// the two balance signals (JobCount and memory) never diverge.
+func (l *Ledger) Occupy(j JobInfo) {
+	l.MemUsed += j.Mem
+	l.JobCount++
+}
+
+// Release undoes Occupy (eviction, preemption, migration away).
+func (l *Ledger) Release(j JobInfo) {
+	l.MemUsed -= j.Mem
+	l.JobCount--
+}
+
+// AddJob records a job as planned onto this node: residency plus the
+// per-job planning record.
+func (l *Ledger) AddJob(pj *PlannedJob) {
+	l.Occupy(pj.Info)
+	l.Jobs = append(l.Jobs, pj)
+}
+
+// RemoveJob undoes AddJob (used by the rebalance phase when a job
+// moves between ledgers).
+func (l *Ledger) RemoveJob(pj *PlannedJob) {
+	for i, other := range l.Jobs {
+		if other == pj {
+			l.Jobs = append(l.Jobs[:i], l.Jobs[i+1:]...)
+			break
+		}
+	}
+	l.Release(pj.Info)
+}
+
+// Ledgers is the book set for one planning pass: one Ledger per node,
+// plus the deterministic iteration order every phase must use (map
+// iteration order would break plan determinism).
+type Ledgers struct {
+	byNode map[cluster.NodeID]*Ledger
+	order  []cluster.NodeID
+}
+
+// NewLedgers opens empty books over the given nodes (a subset of the
+// cluster is fine: the Static baseline partitions this way).
+func NewLedgers(nodes []NodeInfo) *Ledgers {
+	ls := &Ledgers{
+		byNode: make(map[cluster.NodeID]*Ledger, len(nodes)),
+		order:  make([]cluster.NodeID, 0, len(nodes)),
+	}
+	for _, n := range nodes {
+		ls.byNode[n.ID] = &Ledger{Info: n, WebApps: make(map[trans.AppID]res.CPU)}
+		ls.order = append(ls.order, n.ID)
+	}
+	return ls
+}
+
+// Get returns the ledger for a node, or (nil, false) when the node is
+// outside this book set (offline, or in another partition).
+func (ls *Ledgers) Get(id cluster.NodeID) (*Ledger, bool) {
+	l, ok := ls.byNode[id]
+	return l, ok
+}
+
+// Order returns the deterministic node iteration order.
+func (ls *Ledgers) Order() []cluster.NodeID { return ls.order }
+
+// Each calls f for every ledger in deterministic order.
+func (ls *Ledgers) Each(f func(*Ledger)) {
+	for _, id := range ls.order {
+		f(ls.byNode[id])
+	}
+}
+
+// SeedRunning accounts the memory (and job count) of already-running
+// jobs hosted on this book set's nodes. Every policy must seed before
+// reserving web capacity or placing jobs, or it will plan into
+// occupied memory.
+func (ls *Ledgers) SeedRunning(st *State) {
+	for i := range st.Jobs {
+		j := &st.Jobs[i]
+		if j.State != batch.Running {
+			continue
+		}
+		if l, ok := ls.byNode[j.Node]; ok {
+			l.Occupy(*j)
+		}
+	}
+}
+
+// NewPlan allocates an empty plan with its prediction maps ready.
+func NewPlan() *Plan {
+	return &Plan{
+		AppPrediction: make(map[trans.AppID]float64),
+		AppDemand:     make(map[trans.AppID]res.CPU),
+		AppTarget:     make(map[trans.AppID]res.CPU),
+	}
+}
+
+// RecordJobUtility fills the plan's hypothetical-utility and demand
+// diagnostics from the granted per-job shares, so every controller
+// reports on the same axes as the paper's figures.
+func RecordJobUtility(st *State, plan *Plan, jobShare map[batch.JobID]res.CPU) {
+	var utilSum float64
+	classSum := map[string]float64{}
+	classN := map[string]int{}
+	for i := range st.Jobs {
+		j := &st.Jobs[i]
+		curve := j.Curve(st.Now)
+		plan.JobDemand += curve.MaxUseful()
+		share := jobShare[j.ID]
+		u := curve.UtilityAt(share)
+		utilSum += u
+		classSum[j.Class] += u
+		classN[j.Class]++
+		plan.JobTarget += share
+	}
+	if len(st.Jobs) > 0 {
+		plan.HypotheticalJobUtility = utilSum / float64(len(st.Jobs))
+		plan.ClassHypoUtility = make(map[string]float64, len(classSum))
+		for class, sum := range classSum {
+			plan.ClassHypoUtility[class] = sum / float64(classN[class])
+		}
+	}
+}

@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// RunMany executes scenarios across a worker pool and returns their
+// results in input order. parallel is the worker count: 0 or negative
+// means runtime.NumCPU(), 1 runs strictly sequentially on the calling
+// goroutine.
+//
+// Parallel execution is deterministic: every scenario owns its event
+// engine and derives all randomness from its own rng.Source substream
+// tree (rooted at Scenario.Seed), so no state is shared between
+// workers and the results are identical to a sequential run, point for
+// point.
+//
+// On failure RunMany still drains every scenario, then reports the
+// error of the lowest-index failing scenario — again matching what a
+// sequential loop would have surfaced first.
+func RunMany(scs []Scenario, parallel int) ([]*Result, error) {
+	results := make([]*Result, len(scs))
+	errs := make([]error, len(scs))
+	if parallel <= 0 {
+		parallel = runtime.NumCPU()
+	}
+	if parallel > len(scs) {
+		parallel = len(scs)
+	}
+	if parallel <= 1 {
+		for i, sc := range scs {
+			results[i], errs[i] = Run(sc)
+		}
+	} else {
+		var wg sync.WaitGroup
+		work := make(chan int)
+		for w := 0; w < parallel; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range work {
+					results[i], errs[i] = Run(scs[i])
+				}
+			}()
+		}
+		for i := range scs {
+			work <- i
+		}
+		close(work)
+		wg.Wait()
+	}
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("experiments: scenario %d (%s): %w", i, scs[i].Name, err)
+		}
+	}
+	return results, nil
+}
+
+// SweepVariant is one configuration of a sensitivity sweep: a fully
+// built scenario plus the label/parameter its SweepPoint reports.
+type SweepVariant struct {
+	Label    string
+	Param    float64
+	Scenario Scenario
+}
+
+// SweepSpec declares a sensitivity sweep: a named family of scenario
+// variants whose finished runs reduce to SweepPoints. Specs are built
+// by the *SweepSpec constructors (CycleSweepSpec, LoadSweepSpec, ...)
+// and executed by Run; custom sweeps assemble their own spec.
+type SweepSpec struct {
+	Name     string
+	Variants []SweepVariant
+}
+
+// Run executes the sweep's variants on a RunMany worker pool and
+// reduces each result to a SweepPoint, in variant order. The points
+// are identical whatever the parallelism.
+func (s SweepSpec) Run(parallel int) ([]SweepPoint, error) {
+	scs := make([]Scenario, len(s.Variants))
+	for i, v := range s.Variants {
+		scs[i] = v.Scenario
+	}
+	results, err := RunMany(scs, parallel)
+	if err != nil {
+		return nil, fmt.Errorf("sweep %s: %w", s.Name, err)
+	}
+	points := make([]SweepPoint, len(results))
+	for i, r := range results {
+		points[i] = pointFrom(s.Variants[i].Label, s.Variants[i].Param, r)
+	}
+	return points, nil
+}

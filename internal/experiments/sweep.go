@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 	"math"
+	"strings"
 
 	"slaplace/internal/core"
 	"slaplace/internal/utility"
@@ -17,7 +18,7 @@ func MaxMinUtility(r *Result, warmup float64) float64 {
 	min := math.Inf(1)
 	for _, name := range r.Recorder.SeriesNames() {
 		isJob := name == "jobs/hypoUtility"
-		isWeb := len(name) > 6 && name[:6] == "trans/" && hasSuffix(name, "/utility")
+		isWeb := strings.HasPrefix(name, "trans/") && strings.HasSuffix(name, "/utility")
 		if !isJob && !isWeb {
 			continue
 		}
@@ -31,11 +32,6 @@ func MaxMinUtility(r *Result, warmup float64) float64 {
 		return 0
 	}
 	return min
-}
-
-// hasSuffix avoids importing strings for one call site.
-func hasSuffix(s, suf string) bool {
-	return len(s) >= len(suf) && s[len(s)-len(suf):] == suf
 }
 
 // SweepPoint is one sweep configuration's aggregate outcome.
@@ -75,34 +71,38 @@ func pointFrom(label string, param float64, r *Result) SweepPoint {
 	return p
 }
 
-// CycleSweep measures sensitivity to the control cycle period (the
+// CycleSweepSpec declares the control-cycle sensitivity sweep (the
 // paper fixes 600 s; this quantifies what that choice costs or buys).
 // Each period reruns the shortened paper workload with an identical
 // arrival trace.
-func CycleSweep(seed uint64, periods []float64) ([]SweepPoint, error) {
+func CycleSweepSpec(seed uint64, periods []float64) SweepSpec {
 	if len(periods) == 0 {
 		periods = []float64{150, 300, 600, 1200, 2400}
 	}
-	out := make([]SweepPoint, 0, len(periods))
+	spec := SweepSpec{Name: "cycle"}
 	for _, period := range periods {
 		sc := PaperScenario(seed)
 		sc.Name = fmt.Sprintf("sweep/cycle/%.0f", period)
 		sc.Horizon = 36000
 		sc.Loop.CyclePeriod = period
 		sc.Loop.FirstCycle = 60
-		r, err := Run(sc)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, pointFrom(fmt.Sprintf("cycle=%.0fs", period), period, r))
+		spec.Variants = append(spec.Variants, SweepVariant{
+			Label: fmt.Sprintf("cycle=%.0fs", period), Param: period, Scenario: sc,
+		})
 	}
-	return out, nil
+	return spec
 }
 
-// UtilityFnSweep compares utility-function shapes (the paper uses
-// monotonic continuous functions and cites alternatives): linear
-// against increasingly steep sigmoids, applied to both workload types.
-func UtilityFnSweep(seed uint64) ([]SweepPoint, error) {
+// CycleSweep runs CycleSweepSpec on a parallel worker pool.
+func CycleSweep(seed uint64, periods []float64, parallel int) ([]SweepPoint, error) {
+	return CycleSweepSpec(seed, periods).Run(parallel)
+}
+
+// UtilityFnSweepSpec declares the utility-function comparison (the
+// paper uses monotonic continuous functions and cites alternatives):
+// linear against increasingly steep sigmoids, applied to both workload
+// types.
+func UtilityFnSweepSpec(seed uint64) SweepSpec {
 	type variant struct {
 		label string
 		param float64
@@ -114,7 +114,7 @@ func UtilityFnSweep(seed uint64) ([]SweepPoint, error) {
 		{"sigmoid k=6", 6, utility.Sigmoid{K: 6}},
 		{"sigmoid k=12", 12, utility.Sigmoid{K: 12}},
 	}
-	out := make([]SweepPoint, 0, len(variants))
+	spec := SweepSpec{Name: "utility-fn"}
 	for _, v := range variants {
 		sc := PaperScenario(seed)
 		sc.Name = "sweep/fn/" + v.label
@@ -125,26 +125,30 @@ func UtilityFnSweep(seed uint64) ([]SweepPoint, error) {
 		for i := range sc.Apps {
 			sc.Apps[i].Fn = v.fn
 		}
-		r, err := Run(sc)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, pointFrom(v.label, v.param, r))
+		spec.Variants = append(spec.Variants, SweepVariant{
+			Label: v.label, Param: v.param, Scenario: sc,
+		})
 	}
-	return out, nil
+	return spec
 }
 
-// LoadSweep scales the transactional arrival rate across a range of
-// multipliers, holding the job stream fixed — how does the equalizer
-// shift capacity as the web tier's weight grows?
-func LoadSweep(seed uint64, multipliers []float64) ([]SweepPoint, error) {
+// UtilityFnSweep runs UtilityFnSweepSpec on a parallel worker pool.
+func UtilityFnSweep(seed uint64, parallel int) ([]SweepPoint, error) {
+	return UtilityFnSweepSpec(seed).Run(parallel)
+}
+
+// LoadSweepSpec declares the transactional-load sweep: the arrival
+// rate scales across a range of multipliers while the job stream holds
+// fixed — how does the equalizer shift capacity as the web tier's
+// weight grows?
+func LoadSweepSpec(seed uint64, multipliers []float64) (SweepSpec, error) {
 	if len(multipliers) == 0 {
 		multipliers = []float64{0.25, 0.5, 0.75, 1.0, 1.25}
 	}
-	out := make([]SweepPoint, 0, len(multipliers))
+	spec := SweepSpec{Name: "load"}
 	for _, m := range multipliers {
 		if m <= 0 {
-			return nil, fmt.Errorf("experiments: non-positive load multiplier %v", m)
+			return SweepSpec{}, fmt.Errorf("experiments: non-positive load multiplier %v", m)
 		}
 		sc := PaperScenario(seed)
 		sc.Name = fmt.Sprintf("sweep/load/%.2f", m)
@@ -152,26 +156,33 @@ func LoadSweep(seed uint64, multipliers []float64) ([]SweepPoint, error) {
 		for i := range sc.Apps {
 			sc.Apps[i].Pattern = trans.Constant{Rate: PaperWebLambda * m}
 		}
-		r, err := Run(sc)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, pointFrom(fmt.Sprintf("load×%.2f", m), m, r))
+		spec.Variants = append(spec.Variants, SweepVariant{
+			Label: fmt.Sprintf("load×%.2f", m), Param: m, Scenario: sc,
+		})
 	}
-	return out, nil
+	return spec, nil
 }
 
-// EvictionMarginSweep quantifies the suspension-hysteresis knob: the
-// margin trades equalization granularity (time-sharing memory slots
-// among equally-urgent jobs) against suspend/resume churn.
-func EvictionMarginSweep(seed uint64, margins []float64) ([]SweepPoint, error) {
+// LoadSweep runs LoadSweepSpec on a parallel worker pool.
+func LoadSweep(seed uint64, multipliers []float64, parallel int) ([]SweepPoint, error) {
+	spec, err := LoadSweepSpec(seed, multipliers)
+	if err != nil {
+		return nil, err
+	}
+	return spec.Run(parallel)
+}
+
+// EvictionMarginSweepSpec declares the suspension-hysteresis sweep:
+// the margin trades equalization granularity (time-sharing memory
+// slots among equally-urgent jobs) against suspend/resume churn.
+func EvictionMarginSweepSpec(seed uint64, margins []float64) (SweepSpec, error) {
 	if len(margins) == 0 {
 		margins = []float64{0, 600, 1800, 3600}
 	}
-	out := make([]SweepPoint, 0, len(margins))
+	spec := SweepSpec{Name: "eviction-margin"}
 	for _, m := range margins {
 		if m < 0 {
-			return nil, fmt.Errorf("experiments: negative eviction margin %v", m)
+			return SweepSpec{}, fmt.Errorf("experiments: negative eviction margin %v", m)
 		}
 		cfg := core.DefaultConfig()
 		cfg.EvictionMargin = m
@@ -179,13 +190,21 @@ func EvictionMarginSweep(seed uint64, margins []float64) ([]SweepPoint, error) {
 		sc.Name = fmt.Sprintf("sweep/margin/%.0f", m)
 		sc.Horizon = 36000
 		sc.Controller = core.New(cfg)
-		r, err := Run(sc)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, pointFrom(fmt.Sprintf("margin=%.0fs", m), m, r))
+		spec.Variants = append(spec.Variants, SweepVariant{
+			Label: fmt.Sprintf("margin=%.0fs", m), Param: m, Scenario: sc,
+		})
 	}
-	return out, nil
+	return spec, nil
+}
+
+// EvictionMarginSweep runs EvictionMarginSweepSpec on a parallel
+// worker pool.
+func EvictionMarginSweep(seed uint64, margins []float64, parallel int) ([]SweepPoint, error) {
+	spec, err := EvictionMarginSweepSpec(seed, margins)
+	if err != nil {
+		return nil, err
+	}
+	return spec.Run(parallel)
 }
 
 // FormatSweep renders sweep points as an aligned text table.

@@ -23,7 +23,7 @@ func TestCycleSweepTradesChurnForFreshness(t *testing.T) {
 	if testing.Short() {
 		t.Skip("multiple full runs")
 	}
-	points, err := CycleSweep(42, []float64{300, 1200})
+	points, err := CycleSweep(42, []float64{300, 1200}, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -43,7 +43,7 @@ func TestLoadSweepMonotone(t *testing.T) {
 	if testing.Short() {
 		t.Skip("multiple full runs")
 	}
-	points, err := LoadSweep(42, []float64{0.5, 1.25})
+	points, err := LoadSweep(42, []float64{0.5, 1.25}, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -52,7 +52,7 @@ func TestLoadSweepMonotone(t *testing.T) {
 		t.Errorf("heavier web load should lower max-min utility: %v vs %v",
 			light.MaxMinUtility, heavy.MaxMinUtility)
 	}
-	if _, err := LoadSweep(42, []float64{0}); err == nil {
+	if _, err := LoadSweep(42, []float64{0}, 1); err == nil {
 		t.Error("zero multiplier accepted")
 	}
 }
@@ -61,7 +61,7 @@ func TestUtilityFnSweepRuns(t *testing.T) {
 	if testing.Short() {
 		t.Skip("multiple full runs")
 	}
-	points, err := UtilityFnSweep(42)
+	points, err := UtilityFnSweep(42, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -89,7 +89,7 @@ func TestEvictionMarginSweepReducesChurn(t *testing.T) {
 	if testing.Short() {
 		t.Skip("multiple full runs")
 	}
-	points, err := EvictionMarginSweep(42, []float64{0, 1800})
+	points, err := EvictionMarginSweep(42, []float64{0, 1800}, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,7 +101,7 @@ func TestEvictionMarginSweepReducesChurn(t *testing.T) {
 		t.Errorf("margin cost too much utility: %v vs %v",
 			damped.MaxMinUtility, pure.MaxMinUtility)
 	}
-	if _, err := EvictionMarginSweep(42, []float64{-1}); err == nil {
+	if _, err := EvictionMarginSweep(42, []float64{-1}, 1); err == nil {
 		t.Error("negative margin accepted")
 	}
 }

@@ -230,29 +230,6 @@ func TestUniformRangeProperty(t *testing.T) {
 	}
 }
 
-// Property: mul64 agrees with big-integer multiplication on the low and
-// high words (checked via decomposition identity).
-func TestMul64Property(t *testing.T) {
-	f := func(a, b uint64) bool {
-		hi, lo := mul64(a, b)
-		// Verify via the identity (a*b) mod 2^64 == lo and a 128-bit
-		// reconstruction of the product through 32-bit halves.
-		if lo != a*b {
-			return false
-		}
-		aLo, aHi := a&0xffffffff, a>>32
-		bLo, bHi := b&0xffffffff, b>>32
-		t0 := aLo * bLo
-		t1 := aHi*bLo + t0>>32
-		t2 := aLo*bHi + t1&0xffffffff
-		wantHi := aHi*bHi + t1>>32 + t2>>32
-		return hi == wantHi
-	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 10000}); err != nil {
-		t.Error(err)
-	}
-}
-
 func TestPoissonMoments(t *testing.T) {
 	r := NewSource(14).Stream("poisson")
 	for _, mean := range []float64{0.5, 4, 25, 120} {

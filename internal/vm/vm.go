@@ -518,8 +518,12 @@ func (m *Manager) recomputeNode(node cluster.NodeID) {
 	if !ok {
 		return
 	}
+	// Sum in sorted-resident order: float addition is not associative,
+	// so summing in map iteration order would make the overload scale
+	// — and every downstream response time — vary by an ulp per run.
+	residents := m.Residents(node)
 	var total res.CPU
-	for _, v := range m.byNode[node] {
+	for _, v := range residents {
 		if m.consumesCPU(v, node) {
 			total += v.share
 		}
@@ -531,7 +535,7 @@ func (m *Manager) recomputeNode(node cluster.NodeID) {
 	// Deterministic listener order: rate listeners schedule events
 	// (job completion re-planning), and event tie-breaks are FIFO, so
 	// the notification order must not depend on map iteration.
-	for _, v := range m.Residents(node) {
+	for _, v := range residents {
 		var newRate res.CPU
 		if m.consumesCPU(v, node) {
 			newRate = res.CPU(float64(v.share) * scale)
@@ -557,10 +561,11 @@ func (m *Manager) consumesCPU(v *VM, node cluster.NodeID) bool {
 	}
 }
 
-// TotalShare returns the sum of CPU shares of VMs executing on a node.
+// TotalShare returns the sum of CPU shares of VMs executing on a node,
+// accumulated in sorted-resident order for bit-reproducibility.
 func (m *Manager) TotalShare(node cluster.NodeID) res.CPU {
 	var total res.CPU
-	for _, v := range m.byNode[node] {
+	for _, v := range m.Residents(node) {
 		if m.consumesCPU(v, node) {
 			total += v.share
 		}

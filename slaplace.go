@@ -172,6 +172,11 @@ type (
 	JobOutcome = experiments.JobOutcome
 	// SweepPoint is one sensitivity-sweep configuration's outcome.
 	SweepPoint = experiments.SweepPoint
+	// SweepSpec declares a sensitivity sweep: named scenario variants
+	// whose finished runs reduce to SweepPoints.
+	SweepSpec = experiments.SweepSpec
+	// SweepVariant is one configuration of a SweepSpec.
+	SweepVariant = experiments.SweepVariant
 )
 
 // WriteJobOutcomes exports per-job results as CSV.
@@ -179,7 +184,8 @@ func WriteJobOutcomes(w Writer, outcomes []JobOutcome) error {
 	return experiments.WriteJobOutcomes(w, outcomes)
 }
 
-// Sensitivity sweeps (see cmd/slaplace-sweep).
+// Sensitivity sweeps (see cmd/slaplace-sweep). Each takes a parallel
+// worker count; the points are identical whatever the parallelism.
 var (
 	// CycleSweep varies the control-cycle period.
 	CycleSweep = experiments.CycleSweep
@@ -191,7 +197,21 @@ var (
 	EvictionMarginSweep = experiments.EvictionMarginSweep
 	// MaxMinUtility reads the max-min objective off a finished run.
 	MaxMinUtility = experiments.MaxMinUtility
+	// CycleSweepSpec etc. build the sweeps' declarative specs, for
+	// custom execution or extension.
+	CycleSweepSpec          = experiments.CycleSweepSpec
+	UtilityFnSweepSpec      = experiments.UtilityFnSweepSpec
+	LoadSweepSpec           = experiments.LoadSweepSpec
+	EvictionMarginSweepSpec = experiments.EvictionMarginSweepSpec
 )
+
+// RunMany executes scenarios across a worker pool and returns their
+// results in input order. Execution is deterministic: every scenario
+// owns its event engine and RNG substream tree, so results are
+// identical to a sequential run. parallel <= 0 uses all CPUs.
+func RunMany(scs []Scenario, parallel int) ([]*Result, error) {
+	return experiments.RunMany(scs, parallel)
+}
 
 // DefaultVMCosts returns 2008-era virtualization latencies.
 func DefaultVMCosts() VMCosts { return vm.DefaultCosts() }
