@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"math"
 	"testing"
+	"time"
 
 	"slaplace"
 
@@ -213,6 +214,17 @@ func BenchmarkMultiApp(b *testing.B) {
 // cost per control cycle as the cluster and job population grow. The
 // paper's controller must run every 600 s; planning cost is what
 // bounds its applicability.
+//
+// Two variants per shape:
+//
+//	cold    a from-scratch plan (Incremental off — the reference
+//	        planner), on the half-loaded synthetic snapshot;
+//	steady  a steady-state re-plan: the controller planned the
+//	        previous cycle, and only the transactional demand drifts —
+//	        the carry-over tier of core/incremental.go.
+//
+// The CI benchmark-regression gate (cmd/benchgate) tracks the medians
+// of every sub-benchmark against BENCH_placement.json.
 func BenchmarkPlacementScale(b *testing.B) {
 	model, err := queueing.NewMG1PS(1350, 4500)
 	if err != nil {
@@ -220,11 +232,14 @@ func BenchmarkPlacementScale(b *testing.B) {
 	}
 	shapes := []struct{ nodes, jobs int }{
 		{10, 30}, {25, 100}, {50, 300}, {100, 800}, {200, 2000}, {500, 5000},
+		{2000, 20000},
 	}
 	for _, sh := range shapes {
-		b.Run(fmt.Sprintf("nodes=%d/jobs=%d", sh.nodes, sh.jobs), func(b *testing.B) {
+		b.Run(fmt.Sprintf("cold/nodes=%d/jobs=%d", sh.nodes, sh.jobs), func(b *testing.B) {
 			st := syntheticState(sh.nodes, sh.jobs, model)
-			ctrl := core.New(core.DefaultConfig())
+			cfg := core.DefaultConfig()
+			cfg.Incremental = false
+			ctrl := core.New(cfg)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				plan := ctrl.Plan(st)
@@ -233,6 +248,90 @@ func BenchmarkPlacementScale(b *testing.B) {
 				}
 			}
 		})
+	}
+	for _, sh := range shapes {
+		if sh.nodes < 500 {
+			continue // carry-over only pays off at scale; keep CI lean
+		}
+		b.Run(fmt.Sprintf("steady/nodes=%d/jobs=%d", sh.nodes, sh.jobs), func(b *testing.B) {
+			st := steadySyntheticState(sh.nodes, sh.jobs, model)
+			ctrl := core.New(core.DefaultConfig())
+			ctrl.Plan(st) // previous cycle
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				// Fresh demand level every iteration: measure genuine
+				// carry-over re-plans, never exact-snapshot replays.
+				st.Apps[0].Lambda = 65 + 0.1*float64(i%50+1)
+				plan := ctrl.Plan(st)
+				if plan == nil {
+					b.Fatal("nil plan")
+				}
+			}
+			b.StopTimer()
+			if got := ctrl.PlanStats(); got.Incremental == 0 || got.Replayed != 0 {
+				b.Fatalf("steady benchmark did not stay on the carry-over tier: %+v", got)
+			}
+		})
+	}
+}
+
+// TestIncrementalReplanSpeedup pins the incremental planner's headline
+// guarantee: at the 500-node/5000-job shape, a steady-state re-plan is
+// at least 3x faster than a from-scratch plan of the same snapshot.
+func TestIncrementalReplanSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing test")
+	}
+	if raceEnabled {
+		t.Skip("timing test; race instrumentation skews the ratio")
+	}
+	model, err := queueing.NewMG1PS(1350, 4500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const rounds = 5
+	st := steadySyntheticState(500, 5000, model)
+
+	coldCfg := core.DefaultConfig()
+	coldCfg.Incremental = false
+	cold := core.New(coldCfg)
+	cold.Plan(st) // warm caches and allocator
+	coldBest := time.Duration(math.MaxInt64)
+	for i := 0; i < rounds; i++ {
+		start := time.Now()
+		cold.Plan(st)
+		if d := time.Since(start); d < coldBest {
+			coldBest = d
+		}
+	}
+
+	inc := core.New(core.DefaultConfig())
+	inc.Plan(st) // previous cycle
+	incBest := time.Duration(math.MaxInt64)
+	for i := 0; i < rounds; i++ {
+		// A fresh demand level every round: each re-plan is a genuine
+		// carry-over, never an exact-snapshot replay.
+		st.Apps[0].Lambda = 65 + 0.1*float64(i+1)
+		start := time.Now()
+		inc.Plan(st)
+		if d := time.Since(start); d < incBest {
+			incBest = d
+		}
+	}
+	if stats := inc.PlanStats(); stats.Incremental < rounds+1 || stats.Replayed != 0 {
+		t.Fatalf("steady re-plans did not all take the carry-over tier: %+v", stats)
+	}
+	ratio := float64(coldBest) / float64(incBest)
+	t.Logf("cold %v vs steady %v: %.1fx", coldBest, incBest, ratio)
+	if ratio < 3 {
+		t.Errorf("steady-state re-plan only %.2fx faster than cold (want >= 3x)", ratio)
+	}
+
+	// The speedup must not change a single byte: compare the carry-over
+	// plan against the from-scratch plan at full scale.
+	st.Apps[0].Lambda = 65.25
+	if got, want := inc.Plan(st).Digest(), cold.Plan(st).Digest(); got != want {
+		t.Errorf("incremental plan diverges from from-scratch plan at 500/5000")
 	}
 }
 
@@ -270,6 +369,51 @@ func syntheticState(nodes, jobs int, model queueing.MG1PS) *core.State {
 		ID: "web", Lambda: 65, RTGoal: 3.0, Model: model,
 		InstanceMem: 1000, MaxPerInstance: 18000, MinInstances: nodes,
 		Instances: map[cluster.NodeID]res.CPU{},
+	}}
+	return st
+}
+
+// steadySyntheticState builds a crowded steady-state snapshot for the
+// incremental-replan benchmarks: every node hosts a web instance plus
+// two running jobs (5 GB free each), and the pending backlog's 12 GB
+// footprint fits neither the free memory nor the memory a single
+// eviction could free (5 + 5 GB) — so cycle over cycle, the placement
+// provably cannot change and only demand drift re-prices the shares.
+func steadySyntheticState(nodes, jobs int, model queueing.MG1PS) *core.State {
+	st := &core.State{Now: 50000}
+	instances := map[cluster.NodeID]res.CPU{}
+	for i := 0; i < nodes; i++ {
+		id := cluster.NodeID(fmt.Sprintf("n%04d", i))
+		st.Nodes = append(st.Nodes, core.NodeInfo{ID: id, CPU: 18000, Mem: 16000})
+		instances[id] = 150
+	}
+	running := 2 * nodes
+	if running > jobs {
+		running = jobs
+	}
+	for i := 0; i < jobs; i++ {
+		info := core.JobInfo{
+			ID:        batch.JobID(fmt.Sprintf("j%05d", i)),
+			State:     batch.Pending,
+			Remaining: res.Work(4500 * float64(5000+i%20000)),
+			MaxSpeed:  4500,
+			Mem:       12000,
+			Goal:      60000 + float64(i%40000),
+			Submitted: float64(i),
+		}
+		if i < running {
+			info.State = batch.Running
+			info.Node = st.Nodes[i%nodes].ID
+			info.Share = 4500
+			info.Mem = 5000
+			info.Goal = 120000 + float64(i)
+		}
+		st.Jobs = append(st.Jobs, info)
+	}
+	st.Apps = []core.AppInfo{{
+		ID: "web", Lambda: 65, RTGoal: 3.0, Model: model,
+		InstanceMem: 1000, MaxPerInstance: 18000, MinInstances: nodes,
+		Instances: instances,
 	}}
 	return st
 }

@@ -1,0 +1,218 @@
+// Command benchgate is the CI benchmark-regression gate: it runs a
+// benchmark suite several times, takes the median ns/op of every
+// sub-benchmark, writes the medians as JSON, and fails when any median
+// regresses beyond tolerance against a committed baseline file.
+//
+// CI usage (compare against the committed baseline; -out uploads this
+// run's medians as a build artifact without touching the baseline):
+//
+//	go run ./cmd/benchgate -baseline BENCH_placement.json -out BENCH_placement.ci.json
+//
+// Refreshing the committed baseline locally after an intended
+// performance change:
+//
+//	go run ./cmd/benchgate -update -baseline BENCH_placement.json
+//
+// Median-of-count absorbs scheduler noise; the tolerance (default 20%)
+// absorbs machine-to-machine drift. Benchmarks present in the baseline
+// but absent from the run fail the gate (a silently deleted benchmark
+// is a regression of coverage).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Baseline is the JSON document the gate reads and writes.
+type Baseline struct {
+	Bench     string             `json:"bench"`
+	Benchtime string             `json:"benchtime"`
+	Count     int                `json:"count"`
+	Medians   map[string]float64 `json:"medians_ns_per_op"`
+}
+
+// benchLine matches one `go test -bench` result line.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+\d+\s+([0-9.]+) ns/op`)
+
+// cpuSuffix is the trailing -GOMAXPROCS tag go test appends to names.
+var cpuSuffix = regexp.MustCompile(`-\d+$`)
+
+// parseBenchOutput collects every ns/op sample per (suffix-stripped)
+// benchmark name from go test -bench output.
+func parseBenchOutput(out string) map[string][]float64 {
+	samples := map[string][]float64{}
+	for _, line := range strings.Split(out, "\n") {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(line))
+		if m == nil {
+			continue
+		}
+		v, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			continue
+		}
+		name := cpuSuffix.ReplaceAllString(m[1], "")
+		samples[name] = append(samples[name], v)
+	}
+	return samples
+}
+
+// median returns the middle sample (mean of the two middles for even
+// counts). Panics on empty input — callers filter.
+func median(samples []float64) float64 {
+	s := append([]float64(nil), samples...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// medians reduces every benchmark's samples to its median.
+func medians(samples map[string][]float64) map[string]float64 {
+	out := make(map[string]float64, len(samples))
+	for name, v := range samples {
+		if len(v) > 0 {
+			out[name] = median(v)
+		}
+	}
+	return out
+}
+
+// regression describes one gate finding.
+type regression struct {
+	Name     string
+	Old, New float64 // ns/op; New < 0 means the benchmark disappeared
+}
+
+func (r regression) String() string {
+	if r.New < 0 {
+		return fmt.Sprintf("%s: present in baseline (%.0f ns/op) but missing from this run", r.Name, r.Old)
+	}
+	return fmt.Sprintf("%s: %.0f -> %.0f ns/op (%+.1f%%)", r.Name, r.Old, r.New, (r.New/r.Old-1)*100)
+}
+
+// compare gates fresh medians against a baseline: any median above
+// old*(1+tolerance), or any baseline benchmark missing from the run,
+// is a regression. New benchmarks absent from the baseline pass (they
+// enter the baseline on the next -update).
+func compare(baseline, fresh map[string]float64, tolerance float64) []regression {
+	var regs []regression
+	names := make([]string, 0, len(baseline))
+	for name := range baseline {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		old := baseline[name]
+		now, ok := fresh[name]
+		switch {
+		case !ok:
+			regs = append(regs, regression{Name: name, Old: old, New: -1})
+		case old > 0 && now > old*(1+tolerance):
+			regs = append(regs, regression{Name: name, Old: old, New: now})
+		}
+	}
+	return regs
+}
+
+func main() {
+	var (
+		bench = flag.String("bench", "BenchmarkPlacementScale", "benchmark regex to run")
+		pkg   = flag.String("pkg", ".", "package pattern holding the benchmarks")
+		// Time-based so micro-shapes get hundreds of iterations (stable
+		// medians) while the 2000-node shape still runs just once or
+		// twice per count.
+		benchtime = flag.String("benchtime", "50ms", "per-benchmark -benchtime")
+		count     = flag.Int("count", 5, "-count repetitions (median is taken per benchmark)")
+		baseline  = flag.String("baseline", "BENCH_placement.json", "committed baseline JSON path")
+		out       = flag.String("out", "", "path to write this run's medians ('' disables; CI passes BENCH_placement.ci.json)")
+		tolerance = flag.Float64("tolerance", 0.20, "allowed fractional ns/op growth before failing")
+		update    = flag.Bool("update", false, "rewrite the baseline from this run instead of gating")
+	)
+	flag.Parse()
+
+	cmd := exec.Command("go", "test", "-run", "^$",
+		"-bench", *bench, "-benchtime", *benchtime,
+		"-count", strconv.Itoa(*count), *pkg)
+	cmd.Stderr = os.Stderr
+	outBytes, err := cmd.Output()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: go test failed: %v\n%s", err, outBytes)
+		os.Exit(1)
+	}
+	fresh := medians(parseBenchOutput(string(outBytes)))
+	if len(fresh) == 0 {
+		fmt.Fprintf(os.Stderr, "benchgate: no benchmark results matched %q\n%s", *bench, outBytes)
+		os.Exit(1)
+	}
+
+	// Read the committed baseline BEFORE any write: -out may (and in CI
+	// does) point at the same path, and gating against a file this run
+	// just wrote would make the gate a no-op.
+	var base Baseline
+	if !*update {
+		data, err := os.ReadFile(*baseline)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchgate: no baseline (%v); create one with -update\n", err)
+			os.Exit(1)
+		}
+		if err := json.Unmarshal(data, &base); err != nil {
+			fmt.Fprintf(os.Stderr, "benchgate: parse baseline %s: %v\n", *baseline, err)
+			os.Exit(1)
+		}
+	}
+
+	doc := Baseline{Bench: *bench, Benchtime: *benchtime, Count: *count, Medians: fresh}
+	writeTo := *out
+	if *update {
+		writeTo = *baseline
+	}
+	if writeTo != "" {
+		data, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(writeTo, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("benchgate: wrote %d medians to %s\n", len(fresh), writeTo)
+	}
+	if *update {
+		return
+	}
+
+	regs := compare(base.Medians, fresh, *tolerance)
+	names := make([]string, 0, len(fresh))
+	for name := range fresh {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		status := "ok"
+		if old, tracked := base.Medians[name]; !tracked {
+			status = "new (untracked until next -update)"
+		} else if old > 0 {
+			status = fmt.Sprintf("%+.1f%% vs baseline", (fresh[name]/old-1)*100)
+		}
+		fmt.Printf("  %-60s %12.0f ns/op  %s\n", name, fresh[name], status)
+	}
+	if len(regs) > 0 {
+		fmt.Fprintf(os.Stderr, "benchgate: %d regression(s) beyond %.0f%% tolerance:\n", len(regs), *tolerance*100)
+		for _, r := range regs {
+			fmt.Fprintf(os.Stderr, "  %s\n", r)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("benchgate: %d benchmarks within %.0f%% of baseline\n", len(fresh), *tolerance*100)
+}

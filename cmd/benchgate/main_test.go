@@ -1,0 +1,86 @@
+package main
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: slaplace
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkPlacementScale/cold/nodes=10/jobs=30-8         	      79	  15160889 ns/op
+BenchmarkPlacementScale/cold/nodes=10/jobs=30-8         	      80	  15000000 ns/op
+BenchmarkPlacementScale/cold/nodes=10/jobs=30-8         	      78	  16000000 ns/op
+BenchmarkPlacementScale/steady/nodes=500/jobs=5000-8    	       5	   6613676 ns/op
+some unrelated line
+BenchmarkPlacementScale/steady/nodes=500/jobs=5000-8    	       5	   6500000 ns/op
+PASS
+ok  	slaplace	5.1s
+`
+
+func TestParseBenchOutput(t *testing.T) {
+	samples := parseBenchOutput(sampleOutput)
+	if len(samples) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2: %v", len(samples), samples)
+	}
+	cold := samples["BenchmarkPlacementScale/cold/nodes=10/jobs=30"]
+	if len(cold) != 3 {
+		t.Fatalf("cold samples = %v, want 3 entries", cold)
+	}
+	if cold[0] != 15160889 {
+		t.Errorf("first cold sample = %v", cold[0])
+	}
+	steady := samples["BenchmarkPlacementScale/steady/nodes=500/jobs=5000"]
+	if len(steady) != 2 {
+		t.Fatalf("steady samples = %v", steady)
+	}
+}
+
+func TestMedian(t *testing.T) {
+	cases := []struct {
+		in   []float64
+		want float64
+	}{
+		{[]float64{3}, 3},
+		{[]float64{5, 1, 3}, 3},
+		{[]float64{4, 1, 3, 2}, 2.5},
+		{[]float64{10, 10, 1000, 10, 10}, 10}, // one outlier ignored
+	}
+	for _, tc := range cases {
+		if got := median(tc.in); math.Abs(got-tc.want) > 1e-9 {
+			t.Errorf("median(%v) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestCompareGates(t *testing.T) {
+	base := map[string]float64{
+		"a": 100,
+		"b": 100,
+		"c": 100,
+	}
+	fresh := map[string]float64{
+		"a": 115, // within 20%
+		"b": 130, // regression
+		// c missing: regression
+		"d": 999, // new: allowed
+	}
+	regs := compare(base, fresh, 0.20)
+	if len(regs) != 2 {
+		t.Fatalf("regressions = %v, want 2", regs)
+	}
+	if regs[0].Name != "b" || regs[1].Name != "c" {
+		t.Errorf("regression order/names wrong: %v", regs)
+	}
+	if !strings.Contains(regs[1].String(), "missing") {
+		t.Errorf("missing-benchmark message wrong: %s", regs[1])
+	}
+	if regs[0].New != 130 || regs[0].Old != 100 {
+		t.Errorf("regression values wrong: %+v", regs[0])
+	}
+	if got := compare(base, map[string]float64{"a": 100, "b": 100, "c": 119.9}, 0.20); len(got) != 0 {
+		t.Errorf("false positives: %v", got)
+	}
+}

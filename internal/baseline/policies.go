@@ -10,6 +10,12 @@ import (
 	"slaplace/internal/workload/batch"
 )
 
+// The baselines deliberately keep full re-planning: they rebuild their
+// books from scratch every cycle rather than opting into the
+// incremental carry-over the utility controller performs
+// (core/incremental.go). They are comparison yardsticks, not hot
+// paths; a from-scratch pass per cycle keeps them trivially correct.
+
 // Static partitions the cluster: the first ⌈BatchFraction×N⌉ nodes run
 // jobs, the rest run the web tier. Neither side ever borrows from the
 // other — the static consolidation the paper improves upon.

@@ -226,6 +226,15 @@ func (l *Loop) RunCycle(now float64) {
 
 	plan := l.ctrl.Plan(st)
 
+	// Controllers that re-plan incrementally report how each cycle was
+	// produced (full / carry-over / replayed) and the demand drift that
+	// drove the decision.
+	if sp, ok := l.ctrl.(core.PlanStatsProvider); ok {
+		stats := sp.PlanStats()
+		l.rec.Series("ctrl/planMode").Add(now, float64(stats.LastMode))
+		l.rec.Series("ctrl/demandDelta").Add(now, float64(stats.LastDemandDelta))
+	}
+
 	// Record the plan diagnostics (the paper's predicted/demand series).
 	// The hypothetical utility is only meaningful while incomplete jobs
 	// exist; recording zero for an empty backlog would read as "exactly

@@ -1,0 +1,99 @@
+package core
+
+import (
+	"slaplace/internal/res"
+	"slaplace/internal/utility"
+	"slaplace/internal/workload/trans"
+)
+
+// planArena owns the per-cycle planning books so consecutive control
+// cycles reuse one allocation instead of rebuilding Ledgers and
+// PlannedJob records from scratch every 600 s. The arena is embedded in
+// the PlacementController and recycled under its lock; nothing handed
+// to the caller (the Plan and its actions) ever aliases arena memory.
+type planArena struct {
+	// ledgers are rebuilt only when the node set changes; nodesSig is
+	// the exact NodeInfo slice they were built for.
+	ledgers  *Ledgers
+	nodesSig []NodeInfo
+
+	// records is the flat PlannedJob backing store; planned holds the
+	// per-pass pointer view phases share.
+	records []PlannedJob
+	planned []*PlannedJob
+
+	// order is the job priority-order scratch buffer.
+	order []*PlannedJob
+
+	// curve scratch: per-app curves and the combined equalizer input.
+	appCurves []utility.Curve
+	curves    []utility.Curve
+
+	appTarget map[trans.AppID]res.CPU
+}
+
+// context opens a planning pass backed by the arena's recycled books.
+// It is the allocation-free counterpart of newPlanContext.
+func (a *planArena) context(st *State) *planContext {
+	if a.ledgers == nil || !nodeInfosEqual(a.nodesSig, st.Nodes) {
+		a.ledgers = NewLedgers(st.Nodes)
+		a.nodesSig = append(a.nodesSig[:0], st.Nodes...)
+	} else {
+		a.ledgers.reset()
+	}
+	if a.appTarget == nil {
+		a.appTarget = make(map[trans.AppID]res.CPU)
+	} else {
+		clear(a.appTarget)
+	}
+	return &planContext{
+		st:        st,
+		plan:      NewPlan(),
+		ledgers:   a.ledgers,
+		arena:     a,
+		appTarget: a.appTarget,
+		order:     a.order[:0],
+	}
+}
+
+// grabRecords returns n PlannedJob records plus their pointer view,
+// recycling the arena's backing stores. Recycled records still hold the
+// previous cycle's contents: the caller must overwrite each record
+// wholesale (phaseTargets assigns a full struct literal per index)
+// before any field is read.
+func (a *planArena) grabRecords(n int) ([]PlannedJob, []*PlannedJob) {
+	if cap(a.records) < n {
+		a.records = make([]PlannedJob, n)
+		a.planned = make([]*PlannedJob, n)
+	}
+	a.records = a.records[:n]
+	a.planned = a.planned[:n]
+	return a.records, a.planned
+}
+
+// nodeInfosEqual reports whether two node lists are identical in
+// content and order.
+func nodeInfosEqual(a, b []NodeInfo) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// reset clears the per-pass ledger state so the book set can host a new
+// planning pass over the same nodes.
+func (ls *Ledgers) reset() {
+	for _, id := range ls.order {
+		l := ls.byNode[id]
+		l.MemUsed = 0
+		l.WebShare = 0
+		l.JobCount = 0
+		l.Jobs = l.Jobs[:0]
+		clear(l.WebApps)
+	}
+}

@@ -8,7 +8,7 @@ import (
 )
 
 // The placement controller is a staged pipeline. Each control cycle a
-// fresh planContext is threaded through the phases in order:
+// planContext is threaded through the phases in order:
 //
 //	targets         demand prediction and hypothetical-utility
 //	                equalization; opens the ledgers and seeds the
@@ -28,6 +28,12 @@ import (
 // earlier phases wrote — which makes them individually testable: build
 // a context with newPlanContext, run a prefix of the pipeline, and
 // inspect the books.
+//
+// Plan itself is incremental across control cycles (incremental.go):
+// when the cycle-over-cycle delta provably cannot change the discrete
+// placement, the web-placement and job-placement phases are replaced by
+// wholesale carry-over of the previous placement. The fallback — and
+// the reference semantics — is always the full phase list below.
 
 // Phase is one named stage of the placement pipeline.
 type Phase struct {
@@ -43,22 +49,33 @@ type planContext struct {
 
 	ledgers *Ledgers
 	planned []*PlannedJob
+	// order is the job priority order the job-placement phase (full or
+	// carry-over) used; the controller memoizes it for the next cycle.
+	order []*PlannedJob
+
+	// arena, when non-nil, recycles the books across cycles.
+	arena *planArena
 
 	// Phase-1 products consumed downstream.
 	appCurves []utility.Curve
 	appTarget map[trans.AppID]res.CPU
 }
 
-// newPlanContext opens a planning pass: empty plan, empty books.
+// newPlanContext opens a standalone planning pass: empty plan, freshly
+// allocated books. The controller's Plan goes through the arena-backed
+// planArena.context instead; this constructor serves phase-level tests
+// and one-shot planning.
 func newPlanContext(st *State) *planContext {
 	return &planContext{
-		st:      st,
-		plan:    NewPlan(),
-		ledgers: NewLedgers(st.Nodes),
+		st:        st,
+		plan:      NewPlan(),
+		ledgers:   NewLedgers(st.Nodes),
+		appTarget: make(map[trans.AppID]res.CPU, len(st.Apps)),
 	}
 }
 
-// Pipeline returns the controller's phases in execution order.
+// Pipeline returns the controller's phases in execution order — the
+// from-scratch reference semantics of Plan.
 func (c *PlacementController) Pipeline() []Phase {
 	return []Phase{
 		{"targets", c.phaseTargets},
@@ -81,13 +98,82 @@ func (c *PlacementController) PhaseNames() []string {
 	return names
 }
 
-// Plan implements Controller by running the full pipeline.
+// Plan implements Controller by running the pipeline with the
+// incremental shortcuts of incremental.go: an unchanged snapshot
+// replays the cached plan, a steady-state delta carries the previous
+// placement over wholesale, and anything else runs every phase from
+// scratch. All three tiers yield byte-identical plans; reuse only ever
+// changes the cost, never the answer. Plan is safe for concurrent use,
+// but shared controllers serialize on an internal lock — give each
+// parallel scenario its own controller.
 func (c *PlacementController) Plan(st *State) *Plan {
-	ctx := newPlanContext(st)
-	for _, ph := range c.Pipeline() {
-		ph.Run(ctx)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+
+	if c.cfg.Incremental {
+		if plan := c.replayMemo(st); plan != nil {
+			c.stats.Replayed++
+			c.stats.LastMode = PlanReplayed
+			// An identical snapshot is, by definition, zero drift.
+			c.stats.LastDemandDelta = 0
+			return plan
+		}
 	}
+
+	ctx := c.arena.context(st)
+	c.phaseTargets(ctx)
+	c.stats.LastDemandDelta = c.demandDelta(ctx)
+
+	mode := PlanFull
+	if c.cfg.Incremental && c.cfg.ChurnAware && c.webClean(ctx) {
+		c.fastWebPlacement(ctx)
+		if c.jobsSteady(ctx) {
+			c.fastJobCarryOver(ctx)
+			mode = PlanIncremental
+		} else {
+			// The web skeleton was clean (fastWebPlacement is exact),
+			// but jobs may move: run the full job-placement phase.
+			c.phaseJobPlacement(ctx)
+		}
+	} else {
+		c.phaseWebPlacement(ctx)
+		c.phaseJobPlacement(ctx)
+	}
+	c.phaseShares(ctx)
+	c.phaseRebalance(ctx)
+	c.phaseEmit(ctx)
+
+	if mode == PlanIncremental {
+		c.stats.Incremental++
+	} else {
+		c.stats.Full++
+	}
+	c.stats.LastMode = mode
+	if c.cfg.Incremental {
+		c.storeMemo(st, ctx)
+	}
+	c.arena.order = ctx.order
 	return ctx.plan
+}
+
+// PlanStats implements PlanStatsProvider.
+func (c *PlacementController) PlanStats() PlanStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// ResetPlanCache drops the memoized previous cycle: the next Plan
+// cannot replay a cached plan or reuse the cached priority order. The
+// carry-over tier is memo-independent (its steadiness proofs read only
+// the snapshot), so a steady snapshot still plans incrementally; to
+// measure true from-scratch cost, build the controller with
+// Config.Incremental=false as the benchmarks do. The recycled
+// allocation arena is kept.
+func (c *PlacementController) ResetPlanCache() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.memo = nil
 }
 
 // phaseTargets builds the utility curves, equalizes hypothetical
@@ -98,48 +184,58 @@ func (c *PlacementController) Plan(st *State) *Plan {
 // incomplete job carrying its equalized target.
 func (c *PlacementController) phaseTargets(ctx *planContext) {
 	st, plan := ctx.st, ctx.plan
+	if ctx.ledgers == nil {
+		ctx.ledgers = NewLedgers(st.Nodes)
+	}
 
-	ctx.appCurves = make([]utility.Curve, len(st.Apps))
+	var curves []utility.Curve
+	if a := ctx.arena; a != nil {
+		ctx.appCurves = a.appCurves[:0]
+		curves = a.curves[:0]
+	}
 	for i := range st.Apps {
-		ctx.appCurves[i] = st.Apps[i].Curve()
+		ctx.appCurves = append(ctx.appCurves, st.Apps[i].Curve())
 	}
-	jobCurves := make([]utility.Curve, len(st.Jobs))
+	curves = append(curves, ctx.appCurves...)
 	for i := range st.Jobs {
-		jobCurves[i] = st.Jobs[i].Curve(st.Now)
+		curves = append(curves, st.Jobs[i].Curve(st.Now))
 	}
-	all := append(append([]utility.Curve{}, ctx.appCurves...), jobCurves...)
-	eq := utility.Equalize(all, st.TotalCPU())
+	if a := ctx.arena; a != nil {
+		a.appCurves = ctx.appCurves
+		a.curves = curves
+	}
+	jobCurves := curves[len(st.Apps):]
+	eq := utility.Equalize(curves, st.TotalCPU())
 	plan.EqualizedUtility = eq.Equalized
 
-	ctx.appTarget = make(map[trans.AppID]res.CPU, len(st.Apps))
+	if ctx.appTarget == nil {
+		ctx.appTarget = make(map[trans.AppID]res.CPU, len(st.Apps))
+	}
 	for i := range st.Apps {
 		ctx.appTarget[st.Apps[i].ID] = eq.Shares[i].Alloc
 		plan.AppDemand[st.Apps[i].ID] = ctx.appCurves[i].MaxUseful()
 	}
-	jobTarget := make(map[batch.JobID]res.CPU, len(st.Jobs))
+
+	// Planning records, with running jobs' residency on the books.
+	var records []PlannedJob
+	if a := ctx.arena; a != nil {
+		records, ctx.planned = a.grabRecords(len(st.Jobs))
+	} else {
+		records = make([]PlannedJob, len(st.Jobs))
+		ctx.planned = make([]*PlannedJob, len(st.Jobs))
+	}
 	var jobUtilSum float64
 	classSum := map[string]float64{}
 	classN := map[string]int{}
 	for i := range st.Jobs {
 		sh := eq.Shares[len(st.Apps)+i]
-		jobTarget[st.Jobs[i].ID] = sh.Alloc
 		jobUtilSum += sh.Utility
 		classSum[st.Jobs[i].Class] += sh.Utility
 		classN[st.Jobs[i].Class]++
 		plan.JobDemand += jobCurves[i].MaxUseful()
-	}
-	if len(st.Jobs) > 0 {
-		plan.HypotheticalJobUtility = jobUtilSum / float64(len(st.Jobs))
-		plan.ClassHypoUtility = make(map[string]float64, len(classSum))
-		for class, sum := range classSum {
-			plan.ClassHypoUtility[class] = sum / float64(classN[class])
-		}
-	}
 
-	// Planning records, with running jobs' residency on the books.
-	ctx.planned = make([]*PlannedJob, len(st.Jobs))
-	for i := range st.Jobs {
-		pj := &PlannedJob{Info: st.Jobs[i], Target: jobTarget[st.Jobs[i].ID]}
+		records[i] = PlannedJob{Info: st.Jobs[i], Target: sh.Alloc, idx: int32(i)}
+		pj := &records[i]
 		ctx.planned[i] = pj
 		if pj.Info.State == batch.Running {
 			l, ok := ctx.ledgers.Get(pj.Info.Node)
@@ -153,6 +249,13 @@ func (c *PlacementController) phaseTargets(ctx *planContext) {
 			}
 			l.Occupy(pj.Info)
 			pj.Node = pj.Info.Node
+		}
+	}
+	if len(st.Jobs) > 0 {
+		plan.HypotheticalJobUtility = jobUtilSum / float64(len(st.Jobs))
+		plan.ClassHypoUtility = make(map[string]float64, len(classSum))
+		for class, sum := range classSum {
+			plan.ClassHypoUtility[class] = sum / float64(classN[class])
 		}
 	}
 }

@@ -33,7 +33,8 @@ func jobLess(now float64) func(a, b *PlannedJob) bool {
 func (c *PlacementController) phaseJobPlacement(ctx *planContext) {
 	st, ledgers := ctx.st, ctx.ledgers
 	nodeOrder := ledgers.Order()
-	order := append([]*PlannedJob{}, ctx.planned...)
+	ctx.order = append(ctx.order[:0], ctx.planned...)
+	order := ctx.order
 	less := jobLess(st.Now)
 	sort.SliceStable(order, func(i, j int) bool { return less(order[i], order[j]) })
 
@@ -112,7 +113,10 @@ func (c *PlacementController) evictVictim(st *State, pj *PlannedJob, rest []*Pla
 	// Walk the tail from the least urgent end.
 	for i := len(rest) - 1; i >= 0; i-- {
 		victim := rest[i]
-		if victim.Info.State != batch.Running || victim.Suspend {
+		if victim.Info.State != batch.Running || victim.Suspend || victim.Waiting {
+			// Waiting guards the stranded case: a running job whose
+			// node vanished from the snapshot has no ledger to free
+			// memory on (and dereferencing it would crash).
 			continue
 		}
 		if candLax > victim.Info.Laxity(st.Now)-c.cfg.EvictionMargin {

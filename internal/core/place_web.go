@@ -1,7 +1,6 @@
 package core
 
 import (
-	"math"
 	"sort"
 
 	"slaplace/internal/cluster"
@@ -19,23 +18,9 @@ func (c *PlacementController) phaseWebPlacement(ctx *planContext) {
 		app := &st.Apps[ai]
 		target := ctx.appTarget[app.ID]
 
-		// Desired instance count.
-		needed := 0
-		if app.MaxPerInstance > 0 {
-			needed = int(math.Ceil(float64(target) / float64(app.MaxPerInstance)))
-		}
-		if needed < app.MinInstances {
-			needed = app.MinInstances
-		}
-		if needed < 1 && target > 0 {
-			needed = 1
-		}
-		if app.MaxInstances > 0 && needed > app.MaxInstances {
-			needed = app.MaxInstances
-		}
-		if needed > len(nodeOrder) {
-			needed = len(nodeOrder)
-		}
+		// Desired instance count (shared with the webClean check in
+		// incremental.go).
+		needed := neededInstances(app, target, len(nodeOrder))
 
 		// Keep current instances, highest-share first.
 		type inst struct {

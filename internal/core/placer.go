@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 )
 
 // Config tunes the placement controller. The zero value is NOT valid;
@@ -29,6 +30,14 @@ type Config struct {
 	// ablation benchmark sets it false: every cycle places from
 	// scratch, exposing the cost of ignoring placement inertia.
 	ChurnAware bool
+	// Incremental enables cycle-over-cycle plan reuse (incremental.go):
+	// the controller memoizes the previous snapshot, plan and priority
+	// order, replays the plan for identical snapshots, and carries the
+	// placement over wholesale when the delta provably cannot change
+	// it. Plans are byte-identical with it on or off — only the
+	// planning cost changes. False runs every cycle from scratch (the
+	// reference semantics, used by equivalence tests and benchmarks).
+	Incremental bool
 }
 
 // DefaultConfig returns the configuration used in the paper-scenario
@@ -40,6 +49,7 @@ func DefaultConfig() Config {
 		MigrationGain:         1.5,
 		MaxMigrationsPerCycle: 5,
 		ChurnAware:            true,
+		Incremental:           true,
 	}
 }
 
@@ -64,12 +74,21 @@ func (c Config) Validate() error {
 }
 
 // PlacementController is the paper's utility-driven placement
-// controller, implemented as the staged pipeline in pipeline.go.
+// controller, implemented as the staged pipeline in pipeline.go with
+// the incremental re-planning tiers of incremental.go. It carries
+// per-cycle state (the allocation arena and the previous-cycle memo),
+// so concurrent Plan calls serialize on an internal lock; parallel
+// scenario runs should each own a controller.
 type PlacementController struct {
-	cfg Config
+	mu    sync.Mutex
+	cfg   Config
+	arena planArena
+	memo  *planMemo
+	stats PlanStats
 }
 
 var _ Controller = (*PlacementController)(nil)
+var _ PlanStatsProvider = (*PlacementController)(nil)
 
 // New builds a controller, panicking on invalid configuration (it is a
 // programming error, caught in tests).

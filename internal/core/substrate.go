@@ -25,6 +25,10 @@ type PlannedJob struct {
 	Migrate   bool    // live-migrate from Info.Node to Node
 	Suspend   bool    // planned suspension (victim)
 	Waiting   bool    // could not be placed
+
+	// idx is the record's position in the snapshot's job list; the
+	// controller memoizes priority orders across cycles through it.
+	idx int32
 }
 
 // Ledger tracks the planned occupancy of one node during a planning

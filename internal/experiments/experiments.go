@@ -163,6 +163,10 @@ type Result struct {
 	Cycles        int
 	EventsFired   uint64
 	Submitted     int
+	// PlanStats reports how the controller produced each cycle's plan
+	// (full / incremental carry-over / replayed) when the controller
+	// threads the previous plan through cycles; zero otherwise.
+	PlanStats core.PlanStats
 }
 
 // WriteJobOutcomes exports per-job results as CSV for offline analysis.
@@ -298,6 +302,9 @@ func Run(sc Scenario) (*Result, error) {
 	}
 	if replayer != nil {
 		res.Submitted += replayer.Count()
+	}
+	if sp, ok := sc.Controller.(core.PlanStatsProvider); ok {
+		res.PlanStats = sp.PlanStats()
 	}
 	return res, nil
 }

@@ -1,0 +1,144 @@
+package experiments
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"flag"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"slaplace/internal/baseline"
+	"slaplace/internal/core"
+)
+
+// The golden plan-sequence fixture pins every control cycle's plan —
+// for the full paper scenario and for all five controllers on the
+// shortened baseline workload — to checked-in digests. Any change to
+// planning behavior, intended or not, shows up here; in particular the
+// incremental planner (core/incremental.go) is held byte-identical to
+// the from-scratch planner forever, not just by this PR's tests.
+//
+// Refresh after an intended planner change with:
+//
+//	go test ./internal/experiments -run TestGoldenPlanSequences -update-golden
+//
+// Digests depend on exact float behavior, so they are pinned for the
+// CI platform (linux/amd64); regenerate there.
+
+var updateGolden = flag.Bool("update-golden", false,
+	"rewrite testdata/golden_plans.json from current planner output")
+
+// digestController wraps a controller and folds every cycle's plan
+// digest into a running hash.
+type digestController struct {
+	inner  core.Controller
+	hash   io.Writer
+	cycles int
+}
+
+func (d *digestController) Name() string { return d.inner.Name() }
+
+func (d *digestController) Plan(st *core.State) *core.Plan {
+	plan := d.inner.Plan(st)
+	io.WriteString(d.hash, plan.Digest())
+	d.cycles++
+	return plan
+}
+
+// goldenCases builds the scenario catalog the fixture pins. Scenario
+// construction is deterministic, so rebuilding per call is safe.
+func goldenCases() map[string]Scenario {
+	fromScratch := core.DefaultConfig()
+	fromScratch.Incremental = false
+	cases := map[string]Scenario{
+		"paper/utility":             PaperScenario(42),
+		"baseline/fcfs":             BaselineScenario(42, baseline.FCFS{}),
+		"baseline/edf":              BaselineScenario(42, baseline.EDF{}),
+		"baseline/fairshare":        BaselineScenario(42, baseline.FairShare{}),
+		"baseline/static60":         BaselineScenario(42, baseline.Static{BatchFraction: 0.6}),
+		"baseline/utility":          BaselineScenario(42, core.New(core.DefaultConfig())),
+		"baseline/utility-scratch":  BaselineScenario(42, core.New(fromScratch)),
+		"paper/utility-fromscratch": func() Scenario { sc := PaperScenario(42); sc.Controller = core.New(fromScratch); return sc }(),
+	}
+	return cases
+}
+
+// runGoldenCase executes one scenario with plan digesting and returns
+// the aggregate hex digest over all cycles.
+func runGoldenCase(t *testing.T, sc Scenario) string {
+	t.Helper()
+	h := sha256.New()
+	dc := &digestController{inner: sc.Controller, hash: h}
+	sc.Controller = dc
+	if _, err := Run(sc); err != nil {
+		t.Fatalf("scenario %s: %v", sc.Name, err)
+	}
+	if dc.cycles == 0 {
+		t.Fatalf("scenario %s planned zero cycles", sc.Name)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+func TestGoldenPlanSequences(t *testing.T) {
+	path := filepath.Join("testdata", "golden_plans.json")
+	got := map[string]string{}
+	names := make([]string, 0)
+	for name := range goldenCases() {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		got[name] = runGoldenCase(t, goldenCases()[name])
+	}
+
+	// Incremental and from-scratch planning must be indistinguishable,
+	// cycle for cycle, byte for byte — at paper scale and at the
+	// shortened baseline scale.
+	if got["paper/utility"] != got["paper/utility-fromscratch"] {
+		t.Errorf("incremental planner diverges from from-scratch planner on the paper scenario")
+	}
+	if got["baseline/utility"] != got["baseline/utility-scratch"] {
+		t.Errorf("incremental planner diverges from from-scratch planner on the baseline scenario")
+	}
+
+	if *updateGolden {
+		data, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", path)
+		return
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden fixture (regenerate with -update-golden): %v", err)
+	}
+	want := map[string]string{}
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatalf("parse golden fixture: %v", err)
+	}
+	for _, name := range names {
+		if w, ok := want[name]; !ok {
+			t.Errorf("case %s missing from golden fixture; regenerate with -update-golden", name)
+		} else if got[name] != w {
+			t.Errorf("case %s: plan sequence digest %s, want %s (planner behavior changed; "+
+				"if intended, regenerate with -update-golden)", name, got[name], w)
+		}
+	}
+	for name := range want {
+		if _, ok := got[name]; !ok {
+			t.Errorf("golden fixture has stale case %s", name)
+		}
+	}
+}

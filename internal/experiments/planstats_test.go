@@ -1,0 +1,30 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRunnerThreadsPlanStats verifies the runner surfaces the
+// controller's plan-reuse accounting: every control cycle is attributed
+// to a reuse tier, the loop records the per-cycle mode series, and the
+// summary line mentions the split.
+func TestRunnerThreadsPlanStats(t *testing.T) {
+	r, err := Run(QuickScenario(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps := r.PlanStats
+	if got := ps.Full + ps.Incremental + ps.Replayed; got != r.Cycles {
+		t.Errorf("plan stats cover %d cycles, loop ran %d (%+v)", got, r.Cycles, ps)
+	}
+	if ps.Full == 0 {
+		t.Errorf("no full plans in a dynamic scenario: %+v", ps)
+	}
+	if n := len(r.Recorder.Series("ctrl/planMode").Points()); n != r.Cycles {
+		t.Errorf("ctrl/planMode has %d points, want %d", n, r.Cycles)
+	}
+	if s := SummarizeResult(r); !strings.Contains(s, "full") {
+		t.Errorf("summary lacks plan split: %s", s)
+	}
+}

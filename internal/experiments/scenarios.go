@@ -351,5 +351,9 @@ func SummarizeResult(r *Result) string {
 		r.Scenario, r.Controller, r.Cycles, r.Submitted,
 		r.JobStats.Completed, r.JobStats.GoalViolations,
 		r.VMCounters.Suspends, r.VMCounters.Migrations, r.FailedActions)
+	if ps := r.PlanStats; ps.Full+ps.Incremental+ps.Replayed > 0 {
+		s += fmt.Sprintf(", plans %d full / %d incremental / %d replayed",
+			ps.Full, ps.Incremental, ps.Replayed)
+	}
 	return s
 }

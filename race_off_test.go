@@ -1,0 +1,7 @@
+//go:build !race
+
+package slaplace_test
+
+// raceEnabled reports whether the race detector instruments this test
+// binary; timing-sensitive assertions skip under it.
+const raceEnabled = false
