@@ -232,7 +232,7 @@ func BenchmarkPlacementScale(b *testing.B) {
 	}
 	shapes := []struct{ nodes, jobs int }{
 		{10, 30}, {25, 100}, {50, 300}, {100, 800}, {200, 2000}, {500, 5000},
-		{2000, 20000},
+		{2000, 20000}, {5000, 50000},
 	}
 	for _, sh := range shapes {
 		b.Run(fmt.Sprintf("cold/nodes=%d/jobs=%d", sh.nodes, sh.jobs), func(b *testing.B) {

@@ -17,6 +17,11 @@
 // absorbs machine-to-machine drift. Benchmarks present in the baseline
 // but absent from the run fail the gate (a silently deleted benchmark
 // is a regression of coverage).
+//
+// When $GITHUB_STEP_SUMMARY is set (or -summary points at a file), the
+// gate appends a per-benchmark markdown delta table — old vs new
+// median and % change — to it. -cpuprofile forwards to go test so CI
+// can upload the benchmark profile as a triage artifact.
 package main
 
 import (
@@ -100,6 +105,45 @@ func (r regression) String() string {
 	return fmt.Sprintf("%s: %.0f -> %.0f ns/op (%+.1f%%)", r.Name, r.Old, r.New, (r.New/r.Old-1)*100)
 }
 
+// summaryTable renders the old-vs-new medians as a GitHub-flavored
+// markdown table (the per-benchmark delta report CI appends to
+// $GITHUB_STEP_SUMMARY).
+func summaryTable(bench string, baseline, fresh map[string]float64) string {
+	names := make([]string, 0, len(fresh))
+	for name := range fresh {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	fmt.Fprintf(&b, "### Benchmark gate: %s\n\n", bench)
+	b.WriteString("| benchmark | baseline ns/op | run ns/op | delta |\n")
+	b.WriteString("|---|---:|---:|---:|\n")
+	for _, name := range names {
+		now := fresh[name]
+		old, tracked := baseline[name]
+		delta := "new"
+		oldCol := "—"
+		if tracked {
+			oldCol = fmt.Sprintf("%.0f", old)
+			if old > 0 {
+				delta = fmt.Sprintf("%+.1f%%", (now/old-1)*100)
+			}
+		}
+		fmt.Fprintf(&b, "| %s | %s | %.0f | %s |\n", name, oldCol, now, delta)
+	}
+	var missing []string
+	for name := range baseline {
+		if _, ok := fresh[name]; !ok {
+			missing = append(missing, name)
+		}
+	}
+	sort.Strings(missing)
+	for _, name := range missing {
+		fmt.Fprintf(&b, "| %s | %.0f | — | missing |\n", name, baseline[name])
+	}
+	return b.String()
+}
+
 // compare gates fresh medians against a baseline: any median above
 // old*(1+tolerance), or any baseline benchmark missing from the run,
 // is a regression. New benchmarks absent from the baseline pass (they
@@ -137,12 +181,20 @@ func main() {
 		out       = flag.String("out", "", "path to write this run's medians ('' disables; CI passes BENCH_placement.ci.json)")
 		tolerance = flag.Float64("tolerance", 0.20, "allowed fractional ns/op growth before failing")
 		update    = flag.Bool("update", false, "rewrite the baseline from this run instead of gating")
+		profile   = flag.String("cpuprofile", "", "forward -cpuprofile to go test (CI uploads it for regression triage)")
+		summary   = flag.String("summary", os.Getenv("GITHUB_STEP_SUMMARY"),
+			"file to append a markdown delta table to (defaults to $GITHUB_STEP_SUMMARY; '' disables)")
 	)
 	flag.Parse()
 
-	cmd := exec.Command("go", "test", "-run", "^$",
+	args := []string{"test", "-run", "^$",
 		"-bench", *bench, "-benchtime", *benchtime,
-		"-count", strconv.Itoa(*count), *pkg)
+		"-count", strconv.Itoa(*count)}
+	if *profile != "" {
+		args = append(args, "-cpuprofile", *profile)
+	}
+	args = append(args, *pkg)
+	cmd := exec.Command("go", args...)
 	cmd.Stderr = os.Stderr
 	outBytes, err := cmd.Output()
 	if err != nil {
@@ -190,6 +242,16 @@ func main() {
 	}
 	if *update {
 		return
+	}
+
+	if *summary != "" {
+		f, err := os.OpenFile(*summary, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchgate: summary: %v\n", err)
+		} else {
+			fmt.Fprintln(f, summaryTable(*bench, base.Medians, fresh))
+			f.Close()
+		}
 	}
 
 	regs := compare(base.Medians, fresh, *tolerance)

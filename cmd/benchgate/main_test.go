@@ -84,3 +84,24 @@ func TestCompareGates(t *testing.T) {
 		t.Errorf("false positives: %v", got)
 	}
 }
+
+func TestSummaryTable(t *testing.T) {
+	base := map[string]float64{"a": 100, "gone": 50}
+	fresh := map[string]float64{"a": 130, "new": 200}
+	got := summaryTable("BenchmarkX", base, fresh)
+	for _, want := range []string{
+		"### Benchmark gate: BenchmarkX",
+		"| benchmark | baseline ns/op | run ns/op | delta |",
+		"| a | 100 | 130 | +30.0% |",
+		"| new | — | 200 | new |",
+		"| gone | 50 | — | missing |",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("summary table missing %q:\n%s", want, got)
+		}
+	}
+	// Improvements render as negative deltas.
+	if got := summaryTable("B", map[string]float64{"a": 200}, map[string]float64{"a": 100}); !strings.Contains(got, "-50.0%") {
+		t.Errorf("improvement delta wrong:\n%s", got)
+	}
+}

@@ -73,7 +73,7 @@ func reserveWeb(st *core.State, plan *core.Plan, ledgers *core.Ledgers) {
 		}
 		for _, n := range kept {
 			l, _ := ledgers.Get(n)
-			l.MemUsed += app.InstanceMem
+			l.BookMem(app.InstanceMem)
 		}
 		if len(kept) < needed {
 			has := map[cluster.NodeID]bool{}
@@ -89,7 +89,7 @@ func reserveWeb(st *core.State, plan *core.Plan, ledgers *core.Ledgers) {
 					continue
 				}
 				kept = append(kept, n)
-				l.MemUsed += app.InstanceMem
+				l.BookMem(app.InstanceMem)
 				plan.Actions = append(plan.Actions, core.AddInstance{App: app.ID, Node: n})
 			}
 		}

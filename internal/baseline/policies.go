@@ -160,7 +160,7 @@ func (FairShare) Plan(st *core.State) *core.Plan {
 		for _, n := range app.InstanceNodes() {
 			if l, ok := ledgers.Get(n); ok && len(kept) < needed {
 				kept = append(kept, n)
-				l.MemUsed += app.InstanceMem
+				l.BookMem(app.InstanceMem)
 			}
 		}
 		for _, n := range order {
@@ -172,7 +172,7 @@ func (FairShare) Plan(st *core.State) *core.Plan {
 				continue
 			}
 			kept = append(kept, n)
-			l.MemUsed += app.InstanceMem
+			l.BookMem(app.InstanceMem)
 			plan.Actions = append(plan.Actions, core.AddInstance{App: app.ID, Node: n, Share: target / res.CPU(needed)})
 		}
 		if len(kept) == 0 {

@@ -1,10 +1,33 @@
 package core
 
 import (
+	"slaplace/internal/cluster"
 	"slaplace/internal/res"
 	"slaplace/internal/utility"
 	"slaplace/internal/workload/trans"
 )
+
+// planScratch is the recycled working storage of the placement phases:
+// the two node indexes (index.go) and the selection scratch buffers.
+// It lives inside the per-controller planArena so index storage is
+// reused across cycles; standalone contexts (newPlanContext) allocate
+// one lazily on first use.
+type planScratch struct {
+	// pickIdx / webIdx are the job- and web-placement node indexes;
+	// their bucket and heap backing arrays persist across cycles.
+	pickIdx jobPickIndex
+	webIdx  webPickIndex
+
+	// evictable holds the eviction walk's candidate positions.
+	evictable []int32
+
+	// Web-placement per-app scratch: the current-instance ranking, the
+	// kept-node list, the popped-candidate stack, and the kept-node set.
+	webCur    []webInst
+	webKept   []cluster.NodeID
+	webPopped []*Ledger
+	hasInst   map[cluster.NodeID]bool
+}
 
 // planArena owns the per-cycle planning books so consecutive control
 // cycles reuse one allocation instead of rebuilding Ledgers and
@@ -12,6 +35,8 @@ import (
 // the PlacementController and recycled under its lock; nothing handed
 // to the caller (the Plan and its actions) ever aliases arena memory.
 type planArena struct {
+	scratch planScratch
+
 	// ledgers are rebuilt only when the node set changes; nodesSig is
 	// the exact NodeInfo slice they were built for.
 	ledgers  *Ledgers
@@ -53,6 +78,7 @@ func (a *planArena) context(st *State) *planContext {
 		arena:     a,
 		appTarget: a.appTarget,
 		order:     a.order[:0],
+		scratch:   &a.scratch,
 	}
 }
 
@@ -94,6 +120,7 @@ func (ls *Ledgers) reset() {
 		l.WebShare = 0
 		l.JobCount = 0
 		l.Jobs = l.Jobs[:0]
+		l.index = nil
 		clear(l.WebApps)
 	}
 }

@@ -315,7 +315,7 @@ func (c *PlacementController) fastWebPlacement(ctx *planContext) {
 		}
 		for _, n := range kept {
 			l, _ := ledgers.Get(n)
-			l.MemUsed += app.InstanceMem
+			l.BookMem(app.InstanceMem)
 		}
 		per := res.Min(ctx.appTarget[app.ID]/res.CPU(len(kept)), app.MaxPerInstance)
 		for _, n := range kept {
@@ -379,7 +379,7 @@ func (c *PlacementController) fastJobCarryOver(ctx *planContext) {
 			// Stranded on a vanished node; eviction recovery's job.
 		case pj.Info.State == batch.Running:
 			l, _ := ctx.ledgers.Get(pj.Node)
-			l.Jobs = append(l.Jobs, pj)
+			l.AppendJob(pj)
 		default:
 			pj.Waiting = true
 		}
@@ -393,7 +393,6 @@ func (c *PlacementController) fastJobCarryOver(ctx *planContext) {
 // total order (ID tie-break), so a verified order is THE sorted order.
 func (c *PlacementController) orderedPlanned(ctx *planContext) []*PlannedJob {
 	n := len(ctx.planned)
-	less := jobLess(ctx.st.Now)
 	if m := c.memo; m != nil && m.valid && len(m.order) == n && n > 0 {
 		ctx.order = ctx.order[:0]
 		ok := true
@@ -407,7 +406,7 @@ func (c *PlacementController) orderedPlanned(ctx *planContext) []*PlannedJob {
 		for i := 0; ok && i+1 < n; i++ {
 			// Strictness also rejects any non-permutation: a repeated
 			// index ties with itself and fails.
-			if !less(ctx.order[i], ctx.order[i+1]) {
+			if !jobLess(ctx.order[i], ctx.order[i+1]) {
 				ok = false
 			}
 		}
@@ -416,7 +415,7 @@ func (c *PlacementController) orderedPlanned(ctx *planContext) []*PlannedJob {
 		}
 	}
 	ctx.order = append(ctx.order[:0], ctx.planned...)
-	sort.SliceStable(ctx.order, func(i, j int) bool { return less(ctx.order[i], ctx.order[j]) })
+	sort.SliceStable(ctx.order, func(i, j int) bool { return jobLess(ctx.order[i], ctx.order[j]) })
 	return ctx.order
 }
 

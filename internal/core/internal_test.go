@@ -89,10 +89,12 @@ func TestWaterfillProperty(t *testing.T) {
 func TestJobLessOrdering(t *testing.T) {
 	now := 1000.0
 	mk := func(id string, goal float64, state batch.State, submitted float64) *PlannedJob {
-		return &PlannedJob{Info: JobInfo{
+		pj := &PlannedJob{Info: JobInfo{
 			ID: batch.JobID(id), Goal: goal, State: state,
 			Remaining: res.Work(4500 * 100), MaxSpeed: 4500, Submitted: submitted,
 		}}
+		pj.lax = pj.Info.Laxity(now)
+		return pj
 	}
 	// Laxity = (goal - now) - 100.
 	urgent := mk("urgent", 1200, batch.Pending, 5)      // laxity 100
@@ -101,8 +103,7 @@ func TestJobLessOrdering(t *testing.T) {
 	earlyTie := mk("early", 1200, batch.Pending, 1)     // same laxity, earlier submit
 
 	jobs := []*PlannedJob{relaxed, urgent, runningTie, earlyTie}
-	less := jobLess(now)
-	sort.SliceStable(jobs, func(i, j int) bool { return less(jobs[i], jobs[j]) })
+	sort.SliceStable(jobs, func(i, j int) bool { return jobLess(jobs[i], jobs[j]) })
 
 	// Running wins the laxity tie; then earlier submission; relaxed last.
 	wantOrder := []string{"running", "early", "urgent", "relaxed"}

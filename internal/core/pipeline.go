@@ -56,9 +56,23 @@ type planContext struct {
 	// arena, when non-nil, recycles the books across cycles.
 	arena *planArena
 
+	// scratch is the phases' recycled working storage (node indexes and
+	// selection buffers) — the arena's when planning through the
+	// controller, lazily allocated for standalone contexts.
+	scratch *planScratch
+
 	// Phase-1 products consumed downstream.
 	appCurves []utility.Curve
 	appTarget map[trans.AppID]res.CPU
+}
+
+// ensureScratch returns the context's working storage, allocating a
+// standalone one when the context is not arena-backed.
+func (ctx *planContext) ensureScratch() *planScratch {
+	if ctx.scratch == nil {
+		ctx.scratch = &planScratch{}
+	}
+	return ctx.scratch
 }
 
 // newPlanContext opens a standalone planning pass: empty plan, freshly
@@ -234,7 +248,10 @@ func (c *PlacementController) phaseTargets(ctx *planContext) {
 		classN[st.Jobs[i].Class]++
 		plan.JobDemand += jobCurves[i].MaxUseful()
 
-		records[i] = PlannedJob{Info: st.Jobs[i], Target: sh.Alloc, idx: int32(i)}
+		records[i] = PlannedJob{
+			Info: st.Jobs[i], Target: sh.Alloc, idx: int32(i),
+			lax: st.Jobs[i].Laxity(st.Now),
+		}
 		pj := &records[i]
 		ctx.planned[i] = pj
 		if pj.Info.State == batch.Running {

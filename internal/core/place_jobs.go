@@ -11,32 +11,50 @@ import (
 
 // jobLess orders jobs for placement: least laxity (most urgent) first;
 // running jobs win ties (placement inertia); then submission order.
-func jobLess(now float64) func(a, b *PlannedJob) bool {
-	return func(a, b *PlannedJob) bool {
-		la, lb := a.Info.Laxity(now), b.Info.Laxity(now)
-		if la != lb {
-			return la < lb
-		}
-		ra, rb := a.Info.State == batch.Running, b.Info.State == batch.Running
-		if ra != rb {
-			return ra
-		}
-		if a.Info.Submitted != b.Info.Submitted {
-			return a.Info.Submitted < b.Info.Submitted
-		}
-		return a.Info.ID < b.Info.ID
+// It reads the laxity the targets phase cached on each record (laxity
+// is a pure function of the snapshot, so caching it once per cycle is
+// exact while sparing every comparison two float divisions).
+func jobLess(a, b *PlannedJob) bool {
+	if a.lax != b.lax {
+		return a.lax < b.lax
 	}
+	ra, rb := a.Info.State == batch.Running, b.Info.State == batch.Running
+	if ra != rb {
+		return ra
+	}
+	if a.Info.Submitted != b.Info.Submitted {
+		return a.Info.Submitted < b.Info.Submitted
+	}
+	return a.Info.ID < b.Info.ID
 }
 
 // phaseJobPlacement fixes the run-set: which jobs run where, who gets
-// suspended, who waits.
+// suspended, who waits. Node selection goes through the jobPickIndex
+// (index.go) — O(log nodes) per decision instead of a full ledger scan
+// — and eviction probing through a maintained list of evictable
+// positions; both are byte-identical to the reference scans
+// (pickNodeScan, and the tail walk the eviction tests pin).
 func (c *PlacementController) phaseJobPlacement(ctx *planContext) {
-	st, ledgers := ctx.st, ctx.ledgers
-	nodeOrder := ledgers.Order()
+	ledgers := ctx.ledgers
 	ctx.order = append(ctx.order[:0], ctx.planned...)
 	order := ctx.order
-	less := jobLess(st.Now)
-	sort.SliceStable(order, func(i, j int) bool { return less(order[i], order[j]) })
+	sort.SliceStable(order, func(i, j int) bool { return jobLess(order[i], order[j]) })
+
+	sc := ctx.ensureScratch()
+	pick := &sc.pickIdx
+	pick.build(ledgers)
+	defer pick.detach(ledgers)
+
+	// Evictable running jobs by priority-order position, ascending.
+	// evictVictim walks it from the least urgent end instead of
+	// re-scanning the whole priority tail past every waiting job.
+	evictable := sc.evictable[:0]
+	for p, pj := range order {
+		if pj.Info.State == batch.Running && !pj.Suspend && !pj.Waiting {
+			evictable = append(evictable, int32(p))
+		}
+	}
+	defer func() { sc.evictable = evictable[:0] }()
 
 	for idx, pj := range order {
 		switch {
@@ -49,44 +67,56 @@ func (c *PlacementController) phaseJobPlacement(ctx *planContext) {
 			// phase); migrations only through the bounded rebalance
 			// pass.
 			l, _ := ledgers.Get(pj.Node)
-			l.Jobs = append(l.Jobs, pj)
+			l.AppendJob(pj)
 		case pj.Info.State == batch.Running:
 			// Churn-oblivious ablation: re-pick the node from scratch
 			// and migrate whenever the choice differs.
 			src, _ := ledgers.Get(pj.Node)
 			src.Release(pj.Info)
-			node := c.pickNode(pj, ledgers, nodeOrder)
+			var node cluster.NodeID
+			best := pick.pick(pj.Info.Mem)
+			if best != nil {
+				node = best.Info.ID
+			}
 			if node == "" || node == pj.Info.Node {
 				node = pj.Info.Node
+				best, _ = ledgers.Get(node)
 			} else {
 				pj.Migrate = true
 			}
 			pj.Node = node
-			l, _ := ledgers.Get(node)
-			l.AddJob(pj)
+			best.AddJob(pj)
 		default: // Pending or Suspended: place if memory allows.
-			node := c.pickNode(pj, ledgers, nodeOrder)
+			var node cluster.NodeID
+			best := pick.pick(pj.Info.Mem)
+			if best != nil {
+				node = best.Info.ID
+			}
 			if node == "" {
 				// Try suspending the least urgent unconfirmed running
 				// job to make room.
-				node = c.evictVictim(st, pj, order[idx+1:], ledgers)
+				node = c.evictVictim(pj, order, idx, &evictable, ledgers)
+				if node != "" {
+					best, _ = ledgers.Get(node)
+				}
 			}
 			if node == "" {
 				pj.Waiting = true
 				continue
 			}
-			l, _ := ledgers.Get(node)
-			l.AddJob(pj)
+			best.AddJob(pj)
 			pj.Node = node
 			pj.PlacedNew = true
 		}
 	}
 }
 
-// pickNode selects the node for a new placement: feasible memory,
+// pickNodeScan is the reference node selection: feasible memory,
 // fewest planned jobs (count balance), then most free memory, then
-// node order. Returns "" when nothing fits.
-func (c *PlacementController) pickNode(pj *PlannedJob, ledgers *Ledgers, nodeOrder []cluster.NodeID) cluster.NodeID {
+// node order. Returns "" when nothing fits. The placement phase uses
+// the equivalent jobPickIndex instead; the scan stays as the oracle
+// the index equivalence tests compare against.
+func pickNodeScan(pj *PlannedJob, ledgers *Ledgers, nodeOrder []cluster.NodeID) cluster.NodeID {
 	var best cluster.NodeID
 	bestJobs := math.MaxInt
 	var bestFree res.Memory = -1
@@ -106,20 +136,22 @@ func (c *PlacementController) pickNode(pj *PlannedJob, ledgers *Ledgers, nodeOrd
 
 // evictVictim suspends the least urgent not-yet-confirmed running job
 // whose departure lets pj fit on its node, subject to the eviction
-// hysteresis margin. rest is the tail of the priority order (strictly
-// less urgent jobs). Returns the freed node, or "".
-func (c *PlacementController) evictVictim(st *State, pj *PlannedJob, rest []*PlannedJob, ledgers *Ledgers) cluster.NodeID {
-	candLax := pj.Info.Laxity(st.Now)
-	// Walk the tail from the least urgent end.
-	for i := len(rest) - 1; i >= 0; i-- {
-		victim := rest[i]
-		if victim.Info.State != batch.Running || victim.Suspend || victim.Waiting {
-			// Waiting guards the stranded case: a running job whose
-			// node vanished from the snapshot has no ledger to free
-			// memory on (and dereferencing it would crash).
-			continue
+// hysteresis margin. evictable lists the evictable running jobs'
+// positions in the priority order, ascending; entries at or before idx
+// were already confirmed in place by the main loop and are never
+// probed (the old tail re-scan skipped them one by one instead).
+// Returns the freed node, or "".
+func (c *PlacementController) evictVictim(pj *PlannedJob, order []*PlannedJob, idx int, evictable *[]int32, ledgers *Ledgers) cluster.NodeID {
+	candLax := pj.lax
+	list := *evictable
+	// Walk from the least urgent end.
+	for i := len(list) - 1; i >= 0; i-- {
+		p := int(list[i])
+		if p <= idx {
+			break
 		}
-		if candLax > victim.Info.Laxity(st.Now)-c.cfg.EvictionMargin {
+		victim := order[p]
+		if candLax > victim.lax-c.cfg.EvictionMargin {
 			// Not enough urgency advantage to justify a suspend/resume
 			// round trip; later victims are even more urgent, stop.
 			return ""
@@ -130,6 +162,8 @@ func (c *PlacementController) evictVictim(st *State, pj *PlannedJob, rest []*Pla
 		}
 		victim.Suspend = true
 		l.Release(victim.Info)
+		copy(list[i:], list[i+1:])
+		*evictable = list[:len(list)-1]
 		return victim.Node
 	}
 	return ""

@@ -8,32 +8,49 @@ import (
 	"slaplace/internal/workload/trans"
 )
 
+// webInst ranks one current instance for the keep decision.
+type webInst struct {
+	node  cluster.NodeID
+	share res.CPU
+}
+
 // phaseWebPlacement decides instance presence and the reserved web
 // share per node, emitting Add/Remove actions (their final shares are
-// settled by the emit phase).
+// settled by the emit phase). Candidate nodes for new instances come
+// from the webPickIndex (index.go) — a free-memory-ordered heap
+// maintained across the whole phase — instead of rebuilding and
+// re-sorting a candidate slice per application.
 func (c *PlacementController) phaseWebPlacement(ctx *planContext) {
 	st, plan, ledgers := ctx.st, ctx.plan, ctx.ledgers
-	nodeOrder := ledgers.Order()
+	nodeCount := len(ledgers.Order())
+	sc := ctx.ensureScratch()
+	cands := &sc.webIdx
+	cands.build(ledgers)
+	defer cands.detach(ledgers)
+	if sc.hasInst == nil {
+		sc.hasInst = make(map[cluster.NodeID]bool)
+	}
+
 	for ai := range st.Apps {
 		app := &st.Apps[ai]
 		target := ctx.appTarget[app.ID]
 
 		// Desired instance count (shared with the webClean check in
 		// incremental.go).
-		needed := neededInstances(app, target, len(nodeOrder))
+		needed := neededInstances(app, target, nodeCount)
 
 		// Keep current instances, highest-share first.
-		type inst struct {
-			node  cluster.NodeID
-			share res.CPU
+		current := sc.webCur[:0]
+		if cap(current) < len(app.Instances) {
+			current = make([]webInst, 0, len(app.Instances))
 		}
-		var current []inst
 		for n, s := range app.Instances {
 			if _, ok := ledgers.Get(n); !ok {
 				continue // node offline; instance is already gone
 			}
-			current = append(current, inst{n, s})
+			current = append(current, webInst{n, s})
 		}
+		sc.webCur = current
 		sort.Slice(current, func(i, j int) bool {
 			if current[i].share != current[j].share {
 				return current[i].share > current[j].share
@@ -41,7 +58,10 @@ func (c *PlacementController) phaseWebPlacement(ctx *planContext) {
 			return current[i].node < current[j].node
 		})
 
-		kept := make([]cluster.NodeID, 0, needed)
+		kept := sc.webKept[:0]
+		if cap(kept) < needed {
+			kept = make([]cluster.NodeID, 0, needed)
+		}
 		for _, in := range current {
 			if len(kept) < needed {
 				kept = append(kept, in.node)
@@ -54,39 +74,38 @@ func (c *PlacementController) phaseWebPlacement(ctx *planContext) {
 		// starts empty for web, unlike for running jobs, so add it).
 		for _, n := range kept {
 			l, _ := ledgers.Get(n)
-			l.MemUsed += app.InstanceMem
+			l.BookMem(app.InstanceMem)
 		}
-		// Add instances on the emptiest feasible nodes.
+		// Add instances on the emptiest feasible nodes: pop candidates
+		// best-first, skipping nodes that already host an instance, and
+		// stop at the first infeasible top (it is the free-memory
+		// maximum, so nothing below it fits either).
 		if len(kept) < needed {
-			hasInst := make(map[cluster.NodeID]bool, len(kept))
+			clear(sc.hasInst)
 			for _, n := range kept {
-				hasInst[n] = true
+				sc.hasInst[n] = true
 			}
-			cands := make([]cluster.NodeID, 0, len(nodeOrder))
-			for _, n := range nodeOrder {
-				l, _ := ledgers.Get(n)
-				if !hasInst[n] && l.FreeMem() >= app.InstanceMem {
-					cands = append(cands, n)
-				}
-			}
-			sort.SliceStable(cands, func(i, j int) bool {
-				li, _ := ledgers.Get(cands[i])
-				lj, _ := ledgers.Get(cands[j])
-				if li.FreeMem() != lj.FreeMem() {
-					return li.FreeMem() > lj.FreeMem()
-				}
-				return cands[i] < cands[j]
-			})
-			for _, n := range cands {
-				if len(kept) >= needed {
+			popped := sc.webPopped[:0]
+			for len(kept) < needed {
+				top := cands.peek()
+				if top == nil || top.FreeMem() < app.InstanceMem {
 					break
 				}
-				kept = append(kept, n)
-				l, _ := ledgers.Get(n)
-				l.MemUsed += app.InstanceMem
-				plan.Actions = append(plan.Actions, AddInstance{App: app.ID, Node: n})
+				cands.popTop()
+				popped = append(popped, top)
+				if sc.hasInst[top.Info.ID] {
+					continue
+				}
+				kept = append(kept, top.Info.ID)
+				top.BookMem(app.InstanceMem)
+				plan.Actions = append(plan.Actions, AddInstance{App: app.ID, Node: top.Info.ID})
 			}
+			for _, l := range popped {
+				cands.push(l)
+			}
+			sc.webPopped = popped[:0]
 		}
+		sc.webKept = kept
 		if len(kept) == 0 {
 			plan.AppTarget[app.ID] = 0
 			continue
@@ -122,11 +141,8 @@ func (c *PlacementController) spreadWebSurplus(ctx *planContext, l *Ledger, surp
 			break
 		}
 		var instCap res.CPU
-		for ai := range st.Apps {
-			if st.Apps[ai].ID == id {
-				instCap = st.Apps[ai].MaxPerInstance
-				break
-			}
+		if app := st.AppByID(id); app != nil {
+			instCap = app.MaxPerInstance
 		}
 		cur := l.WebApps[id]
 		frac := res.CPU(1)

@@ -110,6 +110,56 @@ type State struct {
 	Nodes []NodeInfo
 	Jobs  []JobInfo
 	Apps  []AppInfo
+
+	// appIdx is the lazily built ID→position lookup behind AppByID;
+	// appIdxLen/appIdxHead fingerprint the Apps slice it was built for.
+	appIdx     map[trans.AppID]int32
+	appIdxLen  int
+	appIdxHead *AppInfo
+}
+
+// buildAppIdx (re)builds the ID→position lookup, first match winning
+// like a scan of Apps would.
+func (s *State) buildAppIdx() {
+	s.appIdx = make(map[trans.AppID]int32, len(s.Apps))
+	for i := range s.Apps {
+		if _, dup := s.appIdx[s.Apps[i].ID]; !dup {
+			s.appIdx[s.Apps[i].ID] = int32(i)
+		}
+	}
+	s.appIdxLen = len(s.Apps)
+	s.appIdxHead = nil
+	if len(s.Apps) > 0 {
+		s.appIdxHead = &s.Apps[0]
+	}
+}
+
+// AppByID returns the application with the given ID (the first match,
+// like a scan of Apps), or nil. The lookup index is built on first use
+// and rebuilt when the Apps slice is replaced or resized, so planning
+// phases look apps up by ID in O(1) — including repeated lookups of
+// absent IDs. Lazy building is not synchronized: a State must not see
+// its first AppByID call from two goroutines at once (planners own
+// their snapshots, so this does not arise).
+func (s *State) AppByID(id trans.AppID) *AppInfo {
+	if s.appIdx == nil || s.appIdxLen != len(s.Apps) ||
+		(len(s.Apps) > 0 && s.appIdxHead != &s.Apps[0]) {
+		s.buildAppIdx()
+	}
+	if i, ok := s.appIdx[id]; ok {
+		if s.Apps[i].ID == id {
+			return &s.Apps[i]
+		}
+		// The entry's ID was rewritten in place since the build:
+		// rebuild once and retry. (A rewrite can only be detected on a
+		// hit; States are value snapshots, so in-place ID rewrites
+		// between lookups are out of contract anyway.)
+		s.buildAppIdx()
+		if i, ok := s.appIdx[id]; ok {
+			return &s.Apps[i]
+		}
+	}
+	return nil
 }
 
 // TotalCPU sums node CPU capacity.

@@ -29,6 +29,10 @@ type PlannedJob struct {
 	// idx is the record's position in the snapshot's job list; the
 	// controller memoizes priority orders across cycles through it.
 	idx int32
+	// lax is Info.Laxity(st.Now), cached once by the targets phase so
+	// priority sorting and eviction probing don't recompute it per
+	// comparison.
+	lax float64
 }
 
 // Ledger tracks the planned occupancy of one node during a planning
@@ -47,6 +51,26 @@ type Ledger struct {
 	Jobs []*PlannedJob
 	// WebApps is the planned per-application web share on this node.
 	WebApps map[trans.AppID]res.CPU
+
+	// pos is the node's position in Ledgers.order (the scan tie-break
+	// the job-placement index must reproduce). Set once by NewLedgers.
+	pos int32
+	// index, when non-nil, is the phase-local node index notified on
+	// every occupancy mutation (index.go). heapPos/bucket are its
+	// bookkeeping: the ledger's position inside the index structure.
+	index   ledgerIndex
+	heapPos int32
+	bucket  int32
+}
+
+// touch notifies the attached node index, if any, of an occupancy
+// change. Every mutation of MemUsed or Jobs must go through a hooked
+// method (Occupy/Release/AddJob/RemoveJob/AppendJob/BookMem) or the
+// phase indexes would silently diverge from the books.
+func (l *Ledger) touch() {
+	if l.index != nil {
+		l.index.ledgerChanged(l)
+	}
 }
 
 // FreeMem is the memory still plannable on this node.
@@ -61,19 +85,30 @@ func (l *Ledger) FreeCPU() res.CPU { return l.Info.CPU - l.WebShare }
 func (l *Ledger) Occupy(j JobInfo) {
 	l.MemUsed += j.Mem
 	l.JobCount++
+	l.touch()
 }
 
 // Release undoes Occupy (eviction, preemption, migration away).
 func (l *Ledger) Release(j JobInfo) {
 	l.MemUsed -= j.Mem
 	l.JobCount--
+	l.touch()
 }
 
 // AddJob records a job as planned onto this node: residency plus the
 // per-job planning record.
 func (l *Ledger) AddJob(pj *PlannedJob) {
-	l.Occupy(pj.Info)
+	l.MemUsed += pj.Info.Mem
+	l.JobCount++
 	l.Jobs = append(l.Jobs, pj)
+	l.touch()
+}
+
+// AppendJob records the planning record of a job whose residency is
+// already on the books (running jobs seeded by the targets phase).
+func (l *Ledger) AppendJob(pj *PlannedJob) {
+	l.Jobs = append(l.Jobs, pj)
+	l.touch()
 }
 
 // RemoveJob undoes AddJob (used by the rebalance phase when a job
@@ -85,7 +120,17 @@ func (l *Ledger) RemoveJob(pj *PlannedJob) {
 			break
 		}
 	}
-	l.Release(pj.Info)
+	l.MemUsed -= pj.Info.Mem
+	l.JobCount--
+	l.touch()
+}
+
+// BookMem debits plannable memory without a job record — web instance
+// residency. Like all occupancy mutations it keeps any attached node
+// index consistent.
+func (l *Ledger) BookMem(m res.Memory) {
+	l.MemUsed += m
+	l.touch()
 }
 
 // Ledgers is the book set for one planning pass: one Ledger per node,
@@ -103,8 +148,8 @@ func NewLedgers(nodes []NodeInfo) *Ledgers {
 		byNode: make(map[cluster.NodeID]*Ledger, len(nodes)),
 		order:  make([]cluster.NodeID, 0, len(nodes)),
 	}
-	for _, n := range nodes {
-		ls.byNode[n.ID] = &Ledger{Info: n, WebApps: make(map[trans.AppID]res.CPU)}
+	for i, n := range nodes {
+		ls.byNode[n.ID] = &Ledger{Info: n, WebApps: make(map[trans.AppID]res.CPU), pos: int32(i)}
 		ls.order = append(ls.order, n.ID)
 	}
 	return ls
