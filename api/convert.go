@@ -1,0 +1,564 @@
+package api
+
+import (
+	"fmt"
+	"sort"
+
+	"slaplace/internal/cluster"
+	"slaplace/internal/core"
+	"slaplace/internal/queueing"
+	"slaplace/internal/res"
+	"slaplace/internal/utility"
+	"slaplace/internal/workload/batch"
+	"slaplace/internal/workload/trans"
+)
+
+// Conversions between the wire schema and the in-process planner
+// types. They are lossless for everything the planner reads: a
+// CoreState∘FromCoreState round trip reproduces the snapshot bit for
+// bit (floats are copied, never reformatted), so plans — and their
+// golden digests — are identical whether a state arrived in process
+// or over the wire.
+
+// jobStateWire maps batch states to wire strings.
+func jobStateWire(s batch.State) (string, error) {
+	switch s {
+	case batch.Pending:
+		return JobPending, nil
+	case batch.Running:
+		return JobRunning, nil
+	case batch.Suspended:
+		return JobSuspended, nil
+	default:
+		return "", fmt.Errorf("api: job state %v has no wire form", s)
+	}
+}
+
+// jobStateCore maps wire strings to batch states.
+func jobStateCore(s string) (batch.State, error) {
+	switch s {
+	case JobPending:
+		return batch.Pending, nil
+	case JobRunning:
+		return batch.Running, nil
+	case JobSuspended:
+		return batch.Suspended, nil
+	default:
+		return 0, fmt.Errorf("api: unknown job state %q", s)
+	}
+}
+
+// FromModel converts a queueing model to its wire form. Only the
+// package models (MG1PS, MM1, MMc) have one; a custom Model
+// implementation cannot cross the wire.
+func FromModel(m queueing.Model) (Model, error) {
+	switch mm := m.(type) {
+	case queueing.MG1PS:
+		return Model{Type: ModelMG1PS, DemandMHzs: mm.DemandMHzs, CoreSpeedMHz: float64(mm.CoreSpeed)}, nil
+	case queueing.MM1:
+		return Model{Type: ModelMM1, DemandMHzs: mm.DemandMHzs}, nil
+	case queueing.MMc:
+		return Model{Type: ModelMMc, DemandMHzs: mm.DemandMHzs, CoreSpeedMHz: float64(mm.CoreSpeed)}, nil
+	default:
+		return Model{}, fmt.Errorf("api: queueing model %T has no wire form", m)
+	}
+}
+
+// QueueModel converts a wire model back to a queueing model.
+func (m Model) QueueModel() (queueing.Model, error) {
+	switch m.Type {
+	case ModelMG1PS:
+		return queueing.MG1PS{DemandMHzs: m.DemandMHzs, CoreSpeed: res.CPU(m.CoreSpeedMHz)}, nil
+	case ModelMM1:
+		return queueing.MM1{DemandMHzs: m.DemandMHzs}, nil
+	case ModelMMc:
+		return queueing.MMc{DemandMHzs: m.DemandMHzs, CoreSpeed: res.CPU(m.CoreSpeedMHz)}, nil
+	default:
+		return nil, fmt.Errorf("api: unknown model type %q", m.Type)
+	}
+}
+
+// FromFunction converts a utility function to its wire form. nil maps
+// to nil (the default function). Only the package functions (Linear,
+// Sigmoid, Piecewise) have a wire form.
+func FromFunction(f utility.Function) (*UtilityFn, error) {
+	switch fn := f.(type) {
+	case nil:
+		return nil, nil
+	case utility.Linear:
+		return &UtilityFn{Type: FnLinear, Floor: fn.Floor}, nil
+	case utility.Sigmoid:
+		return &UtilityFn{Type: FnSigmoid, K: fn.K}, nil
+	case *utility.Piecewise:
+		pts := fn.Points()
+		wire := make([]Point, len(pts))
+		for i, p := range pts {
+			wire[i] = Point{P: p.P, U: p.U}
+		}
+		return &UtilityFn{Type: FnPiecewise, Points: wire}, nil
+	default:
+		return nil, fmt.Errorf("api: utility function %T has no wire form", f)
+	}
+}
+
+// Function converts a wire utility function back. A nil receiver
+// yields nil (the workload's default).
+func (u *UtilityFn) Function() (utility.Function, error) {
+	if u == nil {
+		return nil, nil
+	}
+	switch u.Type {
+	case FnLinear:
+		return utility.Linear{Floor: u.Floor}, nil
+	case FnSigmoid:
+		return utility.Sigmoid{K: u.K}, nil
+	case FnPiecewise:
+		pts := make([]utility.Point, len(u.Points))
+		for i, p := range u.Points {
+			pts[i] = utility.Point{P: p.P, U: p.U}
+		}
+		return utility.NewPiecewise(pts)
+	default:
+		return nil, fmt.Errorf("api: unknown utility type %q", u.Type)
+	}
+}
+
+// FromCoreState converts a planner snapshot to its wire form. It
+// fails when a workload carries a model or utility function without a
+// wire encoding.
+func FromCoreState(st *core.State) (*Snapshot, error) {
+	snap := &Snapshot{SchemaVersion: SchemaVersion, Now: st.Now}
+	snap.Nodes = make([]Node, len(st.Nodes))
+	for i, n := range st.Nodes {
+		snap.Nodes[i] = Node{ID: string(n.ID), CPUMHz: float64(n.CPU), MemMB: int64(n.Mem)}
+	}
+	if len(st.Jobs) > 0 {
+		snap.Jobs = make([]Job, len(st.Jobs))
+	}
+	for i := range st.Jobs {
+		j := &st.Jobs[i]
+		state, err := jobStateWire(j.State)
+		if err != nil {
+			return nil, err
+		}
+		fn, err := FromFunction(j.Fn)
+		if err != nil {
+			return nil, fmt.Errorf("job %q: %w", j.ID, err)
+		}
+		snap.Jobs[i] = Job{
+			ID:            string(j.ID),
+			Class:         j.Class,
+			State:         state,
+			Node:          string(j.Node),
+			ShareMHz:      float64(j.Share),
+			Migrating:     j.Migrating,
+			RemainingMHzs: float64(j.Remaining),
+			MaxSpeedMHz:   float64(j.MaxSpeed),
+			MemMB:         int64(j.Mem),
+			GoalSec:       j.Goal,
+			SubmittedSec:  j.Submitted,
+			Utility:       fn,
+		}
+	}
+	if len(st.Apps) > 0 {
+		snap.Apps = make([]App, len(st.Apps))
+	}
+	for i := range st.Apps {
+		a := &st.Apps[i]
+		model, err := FromModel(a.Model)
+		if err != nil {
+			return nil, fmt.Errorf("app %q: %w", a.ID, err)
+		}
+		fn, err := FromFunction(a.Fn)
+		if err != nil {
+			return nil, fmt.Errorf("app %q: %w", a.ID, err)
+		}
+		snap.Apps[i] = App{
+			ID:                string(a.ID),
+			Lambda:            a.Lambda,
+			RTGoalSec:         a.RTGoal,
+			Model:             model,
+			Utility:           fn,
+			InstanceMemMB:     int64(a.InstanceMem),
+			MaxPerInstanceMHz: float64(a.MaxPerInstance),
+			MinInstances:      a.MinInstances,
+			MaxInstances:      a.MaxInstances,
+			Instances:         instancesWire(a.Instances),
+			MeasuredRTSec:     Float(a.MeasuredRT),
+		}
+	}
+	return snap, nil
+}
+
+// instancesWire renders an instance map as a node-sorted wire list.
+func instancesWire(m map[cluster.NodeID]res.CPU) []Instance {
+	if len(m) == 0 {
+		return nil
+	}
+	out := make([]Instance, 0, len(m))
+	for n, s := range m {
+		out = append(out, Instance{Node: string(n), ShareMHz: float64(s)})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Node < out[j].Node })
+	return out
+}
+
+// CoreState converts a wire snapshot into the planner's state form.
+// Call Validate first (DecodeSnapshot does); CoreState only rejects
+// what validation cannot see without conversion.
+func (s *Snapshot) CoreState() (*core.State, error) {
+	st := &core.State{Now: s.Now}
+	st.Nodes = make([]core.NodeInfo, len(s.Nodes))
+	for i, n := range s.Nodes {
+		st.Nodes[i] = core.NodeInfo{ID: cluster.NodeID(n.ID), CPU: res.CPU(n.CPUMHz), Mem: res.Memory(n.MemMB)}
+	}
+	if len(s.Jobs) > 0 {
+		st.Jobs = make([]core.JobInfo, len(s.Jobs))
+	}
+	for i, j := range s.Jobs {
+		state, err := jobStateCore(j.State)
+		if err != nil {
+			return nil, err
+		}
+		fn, err := j.Utility.Function()
+		if err != nil {
+			return nil, fmt.Errorf("job %q: %w", j.ID, err)
+		}
+		st.Jobs[i] = core.JobInfo{
+			ID:        batch.JobID(j.ID),
+			Class:     j.Class,
+			State:     state,
+			Node:      cluster.NodeID(j.Node),
+			Share:     res.CPU(j.ShareMHz),
+			Migrating: j.Migrating,
+			Remaining: res.Work(j.RemainingMHzs),
+			MaxSpeed:  res.CPU(j.MaxSpeedMHz),
+			Mem:       res.Memory(j.MemMB),
+			Goal:      j.GoalSec,
+			Submitted: j.SubmittedSec,
+			Fn:        fn,
+		}
+	}
+	if len(s.Apps) > 0 {
+		st.Apps = make([]core.AppInfo, len(s.Apps))
+	}
+	for i, a := range s.Apps {
+		model, err := a.Model.QueueModel()
+		if err != nil {
+			return nil, fmt.Errorf("app %q: %w", a.ID, err)
+		}
+		fn, err := a.Utility.Function()
+		if err != nil {
+			return nil, fmt.Errorf("app %q: %w", a.ID, err)
+		}
+		inst := make(map[cluster.NodeID]res.CPU, len(a.Instances))
+		for _, in := range a.Instances {
+			inst[cluster.NodeID(in.Node)] = res.CPU(in.ShareMHz)
+		}
+		st.Apps[i] = core.AppInfo{
+			ID:             trans.AppID(a.ID),
+			Lambda:         a.Lambda,
+			RTGoal:         a.RTGoalSec,
+			Model:          model,
+			Fn:             fn,
+			InstanceMem:    res.Memory(a.InstanceMemMB),
+			MaxPerInstance: res.CPU(a.MaxPerInstanceMHz),
+			MinInstances:   a.MinInstances,
+			MaxInstances:   a.MaxInstances,
+			Instances:      inst,
+			MeasuredRT:     float64(a.MeasuredRTSec),
+		}
+	}
+	return st, nil
+}
+
+// FromCoreAction converts one planner action to its wire form.
+func FromCoreAction(act core.Action) (Action, error) {
+	switch a := act.(type) {
+	case core.StartJob:
+		return Action{Type: ActionStartJob, Job: string(a.Job), Node: string(a.Node), ShareMHz: float64(a.Share)}, nil
+	case core.ResumeJob:
+		return Action{Type: ActionResumeJob, Job: string(a.Job), Node: string(a.Node), ShareMHz: float64(a.Share)}, nil
+	case core.SuspendJob:
+		return Action{Type: ActionSuspendJob, Job: string(a.Job)}, nil
+	case core.MigrateJob:
+		return Action{Type: ActionMigrateJob, Job: string(a.Job), Node: string(a.Dst), ShareMHz: float64(a.Share)}, nil
+	case core.SetJobShare:
+		return Action{Type: ActionSetJobShare, Job: string(a.Job), ShareMHz: float64(a.Share)}, nil
+	case core.AddInstance:
+		return Action{Type: ActionAddInstance, App: string(a.App), Node: string(a.Node), ShareMHz: float64(a.Share)}, nil
+	case core.RemoveInstance:
+		return Action{Type: ActionRemoveInstance, App: string(a.App), Node: string(a.Node)}, nil
+	case core.SetInstanceShare:
+		return Action{Type: ActionSetInstanceShare, App: string(a.App), Node: string(a.Node), ShareMHz: float64(a.Share)}, nil
+	default:
+		return Action{}, fmt.Errorf("api: action %T has no wire form", act)
+	}
+}
+
+// CoreAction converts a wire action back to a planner action.
+func (a Action) CoreAction() (core.Action, error) {
+	switch a.Type {
+	case ActionStartJob:
+		return core.StartJob{Job: batch.JobID(a.Job), Node: cluster.NodeID(a.Node), Share: res.CPU(a.ShareMHz)}, nil
+	case ActionResumeJob:
+		return core.ResumeJob{Job: batch.JobID(a.Job), Node: cluster.NodeID(a.Node), Share: res.CPU(a.ShareMHz)}, nil
+	case ActionSuspendJob:
+		return core.SuspendJob{Job: batch.JobID(a.Job)}, nil
+	case ActionMigrateJob:
+		return core.MigrateJob{Job: batch.JobID(a.Job), Dst: cluster.NodeID(a.Node), Share: res.CPU(a.ShareMHz)}, nil
+	case ActionSetJobShare:
+		return core.SetJobShare{Job: batch.JobID(a.Job), Share: res.CPU(a.ShareMHz)}, nil
+	case ActionAddInstance:
+		return core.AddInstance{App: trans.AppID(a.App), Node: cluster.NodeID(a.Node), Share: res.CPU(a.ShareMHz)}, nil
+	case ActionRemoveInstance:
+		return core.RemoveInstance{App: trans.AppID(a.App), Node: cluster.NodeID(a.Node)}, nil
+	case ActionSetInstanceShare:
+		return core.SetInstanceShare{App: trans.AppID(a.App), Node: cluster.NodeID(a.Node), Share: res.CPU(a.ShareMHz)}, nil
+	default:
+		return nil, fmt.Errorf("api: unknown action type %q", a.Type)
+	}
+}
+
+// FromCorePlan converts a planner output to its wire form: the action
+// list in emission order, the resulting placement (jobs and apps each
+// sorted by ID), and the diagnostics. st must be the snapshot the
+// plan was produced from.
+func FromCorePlan(st *core.State, p *core.Plan) (*Plan, error) {
+	wire := &Plan{SchemaVersion: SchemaVersion}
+	if len(p.Actions) > 0 {
+		wire.Actions = make([]Action, len(p.Actions))
+		for i, act := range p.Actions {
+			wa, err := FromCoreAction(act)
+			if err != nil {
+				return nil, err
+			}
+			wire.Actions[i] = wa
+		}
+	}
+
+	jobs := p.JobAssignments(st)
+	if len(jobs) > 0 {
+		wire.Placement.Jobs = make([]JobPlacement, 0, len(jobs))
+		for id, a := range jobs {
+			state, err := jobStateWire(a.State)
+			if err != nil {
+				return nil, err
+			}
+			wire.Placement.Jobs = append(wire.Placement.Jobs, JobPlacement{
+				ID:       string(id),
+				State:    state,
+				Node:     string(a.Node),
+				ShareMHz: float64(a.Share),
+			})
+		}
+		sort.Slice(wire.Placement.Jobs, func(i, j int) bool {
+			return wire.Placement.Jobs[i].ID < wire.Placement.Jobs[j].ID
+		})
+	}
+	apps := p.AppAssignments(st)
+	if len(apps) > 0 {
+		wire.Placement.Apps = make([]AppPlacement, 0, len(apps))
+		for id, inst := range apps {
+			wire.Placement.Apps = append(wire.Placement.Apps, AppPlacement{
+				ID:        string(id),
+				Instances: instancesWire(inst),
+			})
+		}
+		sort.Slice(wire.Placement.Apps, func(i, j int) bool {
+			return wire.Placement.Apps[i].ID < wire.Placement.Apps[j].ID
+		})
+	}
+
+	wire.Diagnostics = Diagnostics{
+		EqualizedUtility:       Float(p.EqualizedUtility),
+		HypotheticalJobUtility: Float(p.HypotheticalJobUtility),
+		ClassHypoUtility:       floatMapWire(p.ClassHypoUtility),
+		JobDemandMHz:           Float(p.JobDemand),
+		JobTargetMHz:           Float(p.JobTarget),
+		AppPrediction:          appFloatMapWire(p.AppPrediction),
+		AppDemandMHz:           appCPUMapWire(p.AppDemand),
+		AppTargetMHz:           appCPUMapWire(p.AppTarget),
+	}
+	return wire, nil
+}
+
+func floatMapWire(m map[string]float64) map[string]Float {
+	if len(m) == 0 {
+		return nil
+	}
+	out := make(map[string]Float, len(m))
+	for k, v := range m {
+		out[k] = Float(v)
+	}
+	return out
+}
+
+func appFloatMapWire(m map[trans.AppID]float64) map[string]Float {
+	if len(m) == 0 {
+		return nil
+	}
+	out := make(map[string]Float, len(m))
+	for k, v := range m {
+		out[string(k)] = Float(v)
+	}
+	return out
+}
+
+func appCPUMapWire(m map[trans.AppID]res.CPU) map[string]Float {
+	if len(m) == 0 {
+		return nil
+	}
+	out := make(map[string]Float, len(m))
+	for k, v := range m {
+		out[string(k)] = Float(v)
+	}
+	return out
+}
+
+// ApplyTo patches a retained snapshot state with this delta and
+// returns the patched state as a fresh value (the base is not
+// mutated; unchanged entries are shared). Job and app order is
+// preserved for upserts-in-place; new entries append in delta order —
+// matching how a monitoring loop's snapshot would have evolved.
+func (d *SnapshotDelta) ApplyTo(base *core.State) (*core.State, error) {
+	if !finite(d.Now) {
+		return nil, fmt.Errorf("api: delta non-finite now %v", d.Now)
+	}
+	st := &core.State{Now: d.Now}
+	if d.Nodes != nil {
+		st.Nodes = make([]core.NodeInfo, len(d.Nodes))
+		seen := make(map[string]bool, len(d.Nodes))
+		for i, n := range d.Nodes {
+			if n.ID == "" || n.CPUMHz <= 0 || n.MemMB <= 0 || !finite(n.CPUMHz) {
+				return nil, fmt.Errorf("api: delta node %d invalid: %+v", i, n)
+			}
+			if seen[n.ID] {
+				return nil, fmt.Errorf("api: delta duplicate node %q", n.ID)
+			}
+			seen[n.ID] = true
+			st.Nodes[i] = core.NodeInfo{ID: cluster.NodeID(n.ID), CPU: res.CPU(n.CPUMHz), Mem: res.Memory(n.MemMB)}
+		}
+	} else {
+		st.Nodes = append([]core.NodeInfo(nil), base.Nodes...)
+	}
+
+	removeJobs := make(map[batch.JobID]bool, len(d.RemoveJobs))
+	for _, id := range d.RemoveJobs {
+		removeJobs[batch.JobID(id)] = true
+	}
+	upserts := make(map[batch.JobID]int, len(d.UpsertJobs))
+	for i := range d.UpsertJobs {
+		id := batch.JobID(d.UpsertJobs[i].ID)
+		if _, dup := upserts[id]; dup {
+			return nil, fmt.Errorf("api: delta upserts job %q twice", id)
+		}
+		upserts[id] = i
+	}
+	st.Jobs = make([]core.JobInfo, 0, len(base.Jobs)+len(d.UpsertJobs))
+	used := make(map[batch.JobID]bool, len(d.UpsertJobs))
+	for i := range base.Jobs {
+		id := base.Jobs[i].ID
+		if removeJobs[id] {
+			continue
+		}
+		if ui, ok := upserts[id]; ok {
+			info, err := wireJobInfo(&d.UpsertJobs[ui])
+			if err != nil {
+				return nil, err
+			}
+			st.Jobs = append(st.Jobs, info)
+			used[id] = true
+			continue
+		}
+		st.Jobs = append(st.Jobs, base.Jobs[i])
+	}
+	for i := range d.UpsertJobs {
+		id := batch.JobID(d.UpsertJobs[i].ID)
+		if used[id] || removeJobs[id] {
+			continue
+		}
+		info, err := wireJobInfo(&d.UpsertJobs[i])
+		if err != nil {
+			return nil, err
+		}
+		st.Jobs = append(st.Jobs, info)
+	}
+
+	removeApps := make(map[trans.AppID]bool, len(d.RemoveApps))
+	for _, id := range d.RemoveApps {
+		removeApps[trans.AppID(id)] = true
+	}
+	appUpserts := make(map[trans.AppID]int, len(d.UpsertApps))
+	for i := range d.UpsertApps {
+		id := trans.AppID(d.UpsertApps[i].ID)
+		if _, dup := appUpserts[id]; dup {
+			return nil, fmt.Errorf("api: delta upserts app %q twice", id)
+		}
+		appUpserts[id] = i
+	}
+	st.Apps = make([]core.AppInfo, 0, len(base.Apps)+len(d.UpsertApps))
+	usedApps := make(map[trans.AppID]bool, len(d.UpsertApps))
+	for i := range base.Apps {
+		id := base.Apps[i].ID
+		if removeApps[id] {
+			continue
+		}
+		if ui, ok := appUpserts[id]; ok {
+			info, err := wireAppInfo(&d.UpsertApps[ui])
+			if err != nil {
+				return nil, err
+			}
+			st.Apps = append(st.Apps, info)
+			usedApps[id] = true
+			continue
+		}
+		st.Apps = append(st.Apps, base.Apps[i])
+	}
+	for i := range d.UpsertApps {
+		id := trans.AppID(d.UpsertApps[i].ID)
+		if usedApps[id] || removeApps[id] {
+			continue
+		}
+		info, err := wireAppInfo(&d.UpsertApps[i])
+		if err != nil {
+			return nil, err
+		}
+		st.Apps = append(st.Apps, info)
+	}
+	return st, nil
+}
+
+// wireJobInfo converts and validates one wire job.
+func wireJobInfo(j *Job) (core.JobInfo, error) {
+	shim := Snapshot{
+		SchemaVersion: SchemaVersion, Now: 0,
+		Nodes: []Node{{ID: "validate", CPUMHz: 1, MemMB: 1}},
+		Jobs:  []Job{*j},
+	}
+	if err := shim.Validate(); err != nil {
+		return core.JobInfo{}, err
+	}
+	st, err := shim.CoreState()
+	if err != nil {
+		return core.JobInfo{}, err
+	}
+	return st.Jobs[0], nil
+}
+
+// wireAppInfo converts and validates one wire app.
+func wireAppInfo(a *App) (core.AppInfo, error) {
+	shim := Snapshot{
+		SchemaVersion: SchemaVersion, Now: 0,
+		Nodes: []Node{{ID: "validate", CPUMHz: 1, MemMB: 1}},
+		Apps:  []App{*a},
+	}
+	if err := shim.Validate(); err != nil {
+		return core.AppInfo{}, err
+	}
+	st, err := shim.CoreState()
+	if err != nil {
+		return core.AppInfo{}, err
+	}
+	return st.Apps[0], nil
+}

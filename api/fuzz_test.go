@@ -1,0 +1,69 @@
+package api
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzDecodeSnapshot hammers the snapshot codec with arbitrary bytes:
+// anything that decodes and validates must re-encode, re-decode and
+// re-encode to the identical bytes (canonical-form idempotence), and
+// must convert to a planner state without panicking.
+func FuzzDecodeSnapshot(f *testing.F) {
+	f.Add(`{"schemaVersion":1,"now":0,"nodes":[{"id":"n1","cpuMHz":1000,"memMB":1000}]}`)
+	f.Add(`{"schemaVersion":1,"now":50,"nodes":[{"id":"n1","cpuMHz":1000,"memMB":1000}],` +
+		`"jobs":[{"id":"j1","state":"running","node":"n1","shareMHz":10,` +
+		`"remainingMHzs":100,"maxSpeedMHz":10,"memMB":5,"goalSec":99,"submittedSec":1}]}`)
+	f.Add(`{"schemaVersion":1,"now":1,"nodes":[{"id":"n","cpuMHz":1,"memMB":1}],` +
+		`"apps":[{"id":"a","lambda":5,"rtGoalSec":2,` +
+		`"model":{"type":"mg1ps","demandMHzs":10,"coreSpeedMHz":100},` +
+		`"utility":{"type":"sigmoid","k":4},"instanceMemMB":10,"maxPerInstanceMHz":50,` +
+		`"instances":[{"node":"n","shareMHz":3}],"measuredRTSec":"+Inf"}]}`)
+	f.Add(`{"schemaVersion":2,"now":0}`)
+	f.Add(`{"unknown":true}`)
+	f.Add(`not json at all`)
+
+	f.Fuzz(func(t *testing.T, doc string) {
+		snap, err := DecodeSnapshot(strings.NewReader(doc))
+		if err != nil {
+			return // invalid input is allowed to fail, not to panic
+		}
+		var a bytes.Buffer
+		if err := EncodeSnapshot(&a, snap); err != nil {
+			t.Fatalf("valid snapshot failed to encode: %v", err)
+		}
+		again, err := DecodeSnapshot(bytes.NewReader(a.Bytes()))
+		if err != nil {
+			t.Fatalf("canonical form failed to decode: %v\n%s", err, a.Bytes())
+		}
+		var b bytes.Buffer
+		if err := EncodeSnapshot(&b, again); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a.Bytes(), b.Bytes()) {
+			t.Fatalf("canonical form not stable:\n%s\n%s", a.Bytes(), b.Bytes())
+		}
+		if _, err := snap.CoreState(); err != nil {
+			t.Fatalf("validated snapshot failed to convert: %v", err)
+		}
+	})
+}
+
+// FuzzDecodePlanRequest checks the request envelope the same way.
+func FuzzDecodePlanRequest(f *testing.F) {
+	f.Add(`{"schemaVersion":1,"clusterId":"c","snapshot":{"schemaVersion":1,"now":0,` +
+		`"nodes":[{"id":"n1","cpuMHz":1000,"memMB":1000}]}}`)
+	f.Add(`{"schemaVersion":1,"delta":{"baseCycle":3,"now":10,"removeJobs":["j1"]}}`)
+	f.Add(`{"schemaVersion":1,"reply":"delta","delta":{"baseCycle":1,"now":2}}`)
+	f.Add(`{}`)
+	f.Fuzz(func(t *testing.T, doc string) {
+		req, err := DecodePlanRequest(strings.NewReader(doc))
+		if err != nil {
+			return
+		}
+		if (req.Snapshot == nil) == (req.Delta == nil) {
+			t.Fatalf("accepted request without exactly one of snapshot/delta: %s", doc)
+		}
+	})
+}

@@ -1,0 +1,91 @@
+// Command slaplace-serve runs the placement controller as a long-lived
+// HTTP service: clients POST cluster snapshots (or deltas against the
+// previous one) to /v1/plan and receive placement plans, typed action
+// deltas, and plan-reuse statistics in return. Sessions are keyed by
+// cluster ID, so one daemon serves many clusters, each keeping the
+// controller's incremental re-planning state warm across requests.
+//
+// Usage:
+//
+//	slaplace-serve -addr :8080
+//
+// Try it:
+//
+//	curl -s localhost:8080/v1/healthz
+//	curl -s -X POST localhost:8080/v1/plan -d @snapshot.json
+//	curl -s localhost:8080/v1/stats
+//
+// See the api package for the wire schema and examples/serve for a
+// complete client walkthrough.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"slaplace/api"
+	"slaplace/internal/core"
+	"slaplace/internal/serve"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":8080", "listen address")
+		maxSessions = flag.Int("max-sessions", 0, "maximum concurrent cluster sessions (0 = unlimited)")
+		maxBody     = flag.Int64("max-body-bytes", serve.DefaultMaxBodyBytes, "maximum request body size in bytes")
+
+		incremental = flag.Bool("incremental", true, "reuse plans across cycles when provably unchanged")
+		churnAware  = flag.Bool("churn-aware", true, "keep running jobs in place when possible")
+		evictMargin = flag.Float64("eviction-margin", 0, "suspension hysteresis in seconds of laxity")
+		maxMigr     = flag.Int("max-migrations", core.DefaultConfig().MaxMigrationsPerCycle, "migration cap per control cycle")
+	)
+	flag.Parse()
+
+	cfg := core.DefaultConfig()
+	cfg.Incremental = *incremental
+	cfg.ChurnAware = *churnAware
+	cfg.EvictionMargin = *evictMargin
+	cfg.MaxMigrationsPerCycle = *maxMigr
+	if err := cfg.Validate(); err != nil {
+		log.Fatalf("slaplace-serve: %v", err)
+	}
+
+	srv := serve.New(serve.Options{
+		NewController: func() core.Controller { return core.New(cfg) },
+		MaxSessions:   *maxSessions,
+		MaxBodyBytes:  *maxBody,
+	})
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		<-sigs
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			log.Printf("slaplace-serve: shutdown: %v", err)
+		}
+	}()
+
+	log.Printf("slaplace-serve: listening on %s (schema v%d)", *addr, api.SchemaVersion)
+	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatalf("slaplace-serve: %v", err)
+	}
+	// ListenAndServe returns the instant Shutdown begins; wait for the
+	// drain to finish so in-flight plans complete before exit.
+	<-drained
+}

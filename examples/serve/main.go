@@ -1,0 +1,166 @@
+// Serving mode walkthrough: run the placement controller as a
+// decision service and drive it the way an external cluster manager
+// would — full snapshot first, then steady-state deltas, enacting the
+// typed action deltas each response carries.
+//
+//	go run ./examples/serve
+//
+// The walkthrough starts the HTTP daemon in process (the same handler
+// cmd/slaplace-serve listens with) and also shows the equivalent
+// in-process Session calls, which return byte-identical plans.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"net/http"
+	"net/http/httptest"
+
+	"slaplace"
+	"slaplace/api"
+	"slaplace/internal/core"
+	"slaplace/internal/serve"
+)
+
+// snapshot builds the wire form of a small cluster: three nodes, one
+// web application holding an instance on each node, three running
+// jobs and two waiting ones.
+func snapshot(now, lambda float64) *api.Snapshot {
+	snap := &api.Snapshot{
+		SchemaVersion: api.SchemaVersion,
+		Now:           now,
+	}
+	for i := 1; i <= 3; i++ {
+		snap.Nodes = append(snap.Nodes, api.Node{
+			ID: fmt.Sprintf("node-%d", i), CPUMHz: 18000, MemMB: 16000,
+		})
+	}
+	app := api.App{
+		ID:     "shop",
+		Lambda: lambda,
+		// 3-second response-time SLA under an M/G/1-PS model: 1350
+		// MHz·s per request on 4.5 GHz cores.
+		RTGoalSec:         3,
+		Model:             api.Model{Type: api.ModelMG1PS, DemandMHzs: 1350, CoreSpeedMHz: 4500},
+		InstanceMemMB:     1000,
+		MaxPerInstanceMHz: 18000,
+		MinInstances:      3,
+		MeasuredRTSec:     1.2,
+	}
+	for _, n := range snap.Nodes {
+		app.Instances = append(app.Instances, api.Instance{Node: n.ID, ShareMHz: 6000})
+	}
+	snap.Apps = []api.App{app}
+	for i := 1; i <= 5; i++ {
+		job := api.Job{
+			ID:            fmt.Sprintf("train-%d", i),
+			Class:         "batch",
+			State:         api.JobPending,
+			RemainingMHzs: 4500 * 3000, // 3000 s at full speed
+			MaxSpeedMHz:   4500,
+			MemMB:         5000,
+			GoalSec:       now + 9000,
+			SubmittedSec:  now - 100*float64(i),
+		}
+		if i <= 3 {
+			job.State = api.JobRunning
+			job.Node = fmt.Sprintf("node-%d", i)
+			job.ShareMHz = 4500
+		}
+		snap.Jobs = append(snap.Jobs, job)
+	}
+	return snap
+}
+
+// post sends one plan request and decodes the response.
+func post(url string, req *api.PlanRequest) (*api.PlanResponse, error) {
+	var buf bytes.Buffer
+	if err := api.EncodePlanRequest(&buf, req); err != nil {
+		return nil, err
+	}
+	httpResp, err := http.Post(url+"/v1/plan", "application/json", &buf)
+	if err != nil {
+		return nil, err
+	}
+	defer httpResp.Body.Close()
+	if httpResp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("POST /v1/plan: %s", httpResp.Status)
+	}
+	return api.DecodePlanResponse(httpResp.Body)
+}
+
+func printActions(label string, actions []api.Action) {
+	fmt.Printf("%s (%d actions):\n", label, len(actions))
+	for _, a := range actions {
+		switch a.Type {
+		case api.ActionSuspendJob:
+			fmt.Printf("  %-16s job=%s\n", a.Type, a.Job)
+		case api.ActionSetJobShare:
+			fmt.Printf("  %-16s job=%s share=%.0fMHz\n", a.Type, a.Job, a.ShareMHz)
+		case api.ActionRemoveInstance:
+			fmt.Printf("  %-16s app=%s node=%s\n", a.Type, a.App, a.Node)
+		case api.ActionAddInstance, api.ActionSetInstanceShare:
+			fmt.Printf("  %-16s app=%s node=%s share=%.0fMHz\n", a.Type, a.App, a.Node, a.ShareMHz)
+		default:
+			fmt.Printf("  %-16s job=%s node=%s share=%.0fMHz\n", a.Type, a.Job, a.Node, a.ShareMHz)
+		}
+	}
+	fmt.Println()
+}
+
+func main() {
+	// The daemon, in process. `slaplace-serve -addr :8080` serves the
+	// identical handler over a real port.
+	daemon := serve.New(serve.Options{
+		NewController: func() core.Controller {
+			return core.New(core.DefaultConfig())
+		},
+	})
+	ts := httptest.NewServer(daemon.Handler())
+	defer ts.Close()
+
+	// Cycle 1: ship the full snapshot. The response carries the whole
+	// plan: actions to enact now, plus the resulting placement.
+	first := snapshot(600, 20)
+	resp, err := post(ts.URL, &api.PlanRequest{ClusterID: "prod-eu", Snapshot: first})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("cycle %d planned in mode %q\n", resp.Cycle, resp.PlanMode)
+	printActions("full plan", resp.Plan.Actions)
+
+	// Cycle 2: demand doubled. Steady state ships a delta — just the
+	// drifted app — and asks for a delta reply: the typed actions from
+	// the previous placement to the new one, nothing else.
+	drifted := snapshot(1200, 40)
+	resp2, err := post(ts.URL, &api.PlanRequest{
+		ClusterID: "prod-eu",
+		Delta: &api.SnapshotDelta{
+			BaseCycle:  resp.Cycle,
+			Now:        1200,
+			UpsertApps: drifted.Apps,
+			UpsertJobs: drifted.Jobs, // progress since the last cycle
+		},
+		Reply: api.ReplyDelta,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("cycle %d planned in mode %q, stats %+v\n", resp2.Cycle, resp2.PlanMode, *resp2.Stats)
+	printActions("delta vs previous plan", resp2.Delta)
+
+	// The same conversation, in process: a Session owns the controller
+	// across Propose calls and returns byte-identical plans.
+	sess := slaplace.NewSession(slaplace.DefaultControllerConfig())
+	plan1, _, err := sess.Propose(snapshot(600, 20))
+	if err != nil {
+		log.Fatal(err)
+	}
+	plan2, stats, err := sess.Propose(snapshot(1200, 40))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("in-process: %d cycles, last mode %v\n", 2, stats.LastMode)
+	printActions("in-process Plan.Diff", plan2.Diff(plan1))
+}

@@ -1,16 +1,31 @@
 // Package control closes the paper's management loop: every control
 // cycle it snapshots the system (monitoring), asks a controller for a
-// plan (optimization), and enacts the plan through the workload
-// runtimes (actuation) — recording the series the paper's figures plot.
+// plan (optimization), and enacts the plan (actuation) — recording the
+// series the paper's figures plot.
 //
-// Actuation is two-phased, mirroring the real system's ordering
-// constraint: suspensions, instance removals and share changes free
-// resources first; placements that may need that memory (starts,
-// resumes, migrations, instance additions) are issued after a short
-// actuation delay that covers the suspend latency. An action that
-// still fails (e.g. a race with an in-flight operation) is counted and
-// dropped; the next cycle re-plans from observed state, which is the
-// loop's self-healing property.
+// The package is split along the service boundary the HTTP daemon
+// (cmd/slaplace-serve) exposes:
+//
+//   - Session owns a controller across cycles — the arena, indexes and
+//     incremental reuse tiers of the placement controller survive from
+//     one plan to the next — and drives the generic monitor → plan →
+//     actuate cycle over any ClusterBackend. Its Propose/ProposeDelta
+//     methods speak the versioned wire schema of package api.
+//   - ClusterBackend abstracts the managed world. SimBackend adapts
+//     the discrete-event simulator (the paper's testbed stand-in);
+//     WireBackend adapts a remote cluster whose snapshots arrive over
+//     the wire and whose plans are shipped back for remote actuation.
+//   - Loop schedules periodic cycles of a Session over a SimBackend on
+//     the event engine — the batch-experiment harness.
+//
+// Simulator actuation is two-phased, mirroring the real system's
+// ordering constraint: suspensions, instance removals and share
+// changes free resources first; placements that may need that memory
+// (starts, resumes, migrations, instance additions) are issued after a
+// short actuation delay that covers the suspend latency. An action
+// that still fails (e.g. a race with an in-flight operation) is
+// counted and dropped; the next cycle re-plans from observed state,
+// which is the loop's self-healing property.
 package control
 
 import (
@@ -19,7 +34,6 @@ import (
 	"slaplace/internal/cluster"
 	"slaplace/internal/core"
 	"slaplace/internal/metrics"
-	"slaplace/internal/res"
 	"slaplace/internal/sim"
 	"slaplace/internal/vm"
 	"slaplace/internal/workload/batch"
@@ -71,46 +85,49 @@ func (o Options) Validate() error {
 	return nil
 }
 
-// Loop is the management loop.
+// Loop schedules a Session's control cycles over a SimBackend on the
+// event engine.
 type Loop struct {
-	eng  *sim.Engine
-	cl   *cluster.Cluster
-	mgr  *vm.Manager
-	jobs *batch.Runtime
-	web  *trans.Runtime
-	ctrl core.Controller
-	rec  *metrics.Recorder
-	opts Options
+	eng     *sim.Engine
+	backend *SimBackend
+	sess    *Session
+	rec     *metrics.Recorder
+	opts    Options
 
-	cycles        int
-	failedActions int
-	lastCycleAt   float64 // previous cycle time (monitoring window start)
-	cancelCycle   func()
-	cancelSample  func()
+	ran          bool    // at least one cycle has run
+	lastCycleAt  float64 // previous cycle time (monitoring window start)
+	cancelCycle  func()
+	cancelSample func()
 }
 
-// NewLoop wires a loop together. web may be nil when the scenario has
-// no transactional workload.
+// NewLoop wires a loop together: a SimBackend over the simulator parts
+// driven by the session's controller. web may be nil when the scenario
+// has no transactional workload.
 func NewLoop(eng *sim.Engine, cl *cluster.Cluster, mgr *vm.Manager,
-	jobs *batch.Runtime, web *trans.Runtime, ctrl core.Controller,
+	jobs *batch.Runtime, web *trans.Runtime, sess *Session,
 	rec *metrics.Recorder, opts Options) (*Loop, error) {
 	if err := opts.Validate(); err != nil {
 		return nil, err
 	}
-	if eng == nil || cl == nil || mgr == nil || jobs == nil || ctrl == nil || rec == nil {
-		return nil, fmt.Errorf("control: nil dependency")
+	if sess == nil {
+		return nil, fmt.Errorf("control: nil session")
 	}
-	return &Loop{
-		eng: eng, cl: cl, mgr: mgr, jobs: jobs, web: web,
-		ctrl: ctrl, rec: rec, opts: opts,
-	}, nil
+	backend, err := NewSimBackend(eng, cl, mgr, jobs, web, rec,
+		opts.ActuationDelay, sess.Name())
+	if err != nil {
+		return nil, err
+	}
+	return &Loop{eng: eng, backend: backend, sess: sess, rec: rec, opts: opts}, nil
 }
 
+// Session returns the loop's planning session.
+func (l *Loop) Session() *Session { return l.sess }
+
 // Cycles returns how many control cycles have executed.
-func (l *Loop) Cycles() int { return l.cycles }
+func (l *Loop) Cycles() int { return l.sess.Cycles() }
 
 // FailedActions returns how many plan actions could not be enacted.
-func (l *Loop) FailedActions() int { return l.failedActions }
+func (l *Loop) FailedActions() int { return l.backend.FailedActions() }
 
 // Recorder returns the loop's metrics recorder.
 func (l *Loop) Recorder() *metrics.Recorder { return l.rec }
@@ -118,10 +135,10 @@ func (l *Loop) Recorder() *metrics.Recorder { return l.rec }
 // Start schedules the periodic control cycle (and sampler, if enabled).
 func (l *Loop) Start() {
 	l.cancelCycle = l.eng.Periodic(sim.Time(l.opts.FirstCycle), l.opts.CyclePeriod,
-		"control-cycle/"+l.ctrl.Name(), func(now sim.Time) { l.RunCycle(float64(now)) })
+		"control-cycle/"+l.sess.Name(), func(now sim.Time) { l.RunCycle(float64(now)) })
 	if l.opts.SamplePeriod > 0 {
 		l.cancelSample = l.eng.Periodic(0, l.opts.SamplePeriod, "sample", func(now sim.Time) {
-			l.sample(float64(now))
+			l.backend.Sample(l.rec, float64(now))
 		})
 	}
 }
@@ -136,257 +153,33 @@ func (l *Loop) Stop() {
 	}
 }
 
-// Snapshot builds the monitoring state for the controller.
+// Snapshot builds the raw monitoring state for the controller (oracle
+// arrival rates; RunCycle applies the profiler window on top).
 func (l *Loop) Snapshot(now float64) *core.State {
-	st := &core.State{Now: now}
-	for _, n := range l.cl.OnlineNodes() {
-		st.Nodes = append(st.Nodes, core.NodeInfo{ID: n.ID(), CPU: n.CPU(), Mem: n.Mem()})
-	}
-	for _, j := range l.jobs.Incomplete() {
-		info := core.JobInfo{
-			ID:        j.ID(),
-			Class:     j.Class().Name,
-			State:     j.State(),
-			Node:      l.jobs.Node(j.ID()),
-			Share:     l.jobs.Share(j.ID()),
-			Remaining: j.RemainingAt(now),
-			MaxSpeed:  j.Class().MaxSpeed,
-			Mem:       j.Class().Mem,
-			Goal:      j.Goal(),
-			Submitted: j.Submitted(),
-			Fn:        j.Class().Fn,
-		}
-		if v, ok := l.mgr.VM(j.VMID()); ok && v.State() == vm.Migrating {
-			info.Migrating = true
-		}
-		st.Jobs = append(st.Jobs, info)
-	}
-	if l.web != nil {
-		for _, a := range l.web.Apps() {
-			cfg := a.Config()
-			instances := make(map[cluster.NodeID]res.CPU)
-			for _, n := range a.InstanceNodes() {
-				instances[n] = a.InstanceShare(n)
-			}
-			st.Apps = append(st.Apps, core.AppInfo{
-				ID:             cfg.ID,
-				Lambda:         a.Lambda(now),
-				RTGoal:         cfg.RTGoal,
-				Model:          cfg.Model,
-				Fn:             cfg.Fn,
-				InstanceMem:    cfg.InstanceMem,
-				MaxPerInstance: cfg.MaxPerInstance,
-				MinInstances:   cfg.MinInstances,
-				MaxInstances:   cfg.MaxInstances,
-				Instances:      instances,
-				MeasuredRT:     a.ObservedRT(now),
-			})
-		}
-	}
-	return st
+	return l.backend.State(now)
 }
 
 // RunCycle executes one full monitor → plan → actuate cycle at time
 // now, recording the figure series.
 func (l *Loop) RunCycle(now float64) {
-	l.cycles++
-	st := l.Snapshot(now)
-
-	// Replace oracle arrival rates with profiler estimates where the
-	// application is configured for monitoring-based estimation. The
-	// window is the elapsed control cycle.
-	if l.web != nil {
-		t0 := l.lastCycleAt
-		if l.cycles == 1 {
-			t0 = now - l.opts.CyclePeriod
-			if t0 < 0 {
-				t0 = 0
-			}
+	// The monitoring window for profiler estimates: since the previous
+	// cycle, or one nominal period before the first.
+	t0 := l.lastCycleAt
+	if !l.ran {
+		t0 = now - l.opts.CyclePeriod
+		if t0 < 0 {
+			t0 = 0
 		}
-		for i := range st.Apps {
-			if a, ok := l.web.App(st.Apps[i].ID); ok {
-				st.Apps[i].Lambda = a.MonitoredLambda(t0, now)
-			}
-		}
+		l.ran = true
 	}
 	l.lastCycleAt = now
-
-	// Record the observations (what the paper plots as "actual").
-	for i := range st.Apps {
-		app := &st.Apps[i]
-		id := string(app.ID)
-		var u float64
-		if a, ok := l.web.App(app.ID); ok {
-			u = a.MeasuredUtility(app.MeasuredRT)
-			l.rec.Series("trans/"+id+"/rt").Add(now, app.MeasuredRT)
-		}
-		l.rec.Series("trans/"+id+"/utility").Add(now, u)
-		l.rec.Series("trans/"+id+"/lambda").Add(now, app.Lambda)
-	}
-
-	plan := l.ctrl.Plan(st)
-
-	// Controllers that re-plan incrementally report how each cycle was
-	// produced (full / carry-over / replayed) and the demand drift that
-	// drove the decision.
-	if sp, ok := l.ctrl.(core.PlanStatsProvider); ok {
-		stats := sp.PlanStats()
-		l.rec.Series("ctrl/planMode").Add(now, float64(stats.LastMode))
-		l.rec.Series("ctrl/demandDelta").Add(now, float64(stats.LastDemandDelta))
-	}
-
-	// Record the plan diagnostics (the paper's predicted/demand series).
-	// The hypothetical utility is only meaningful while incomplete jobs
-	// exist; recording zero for an empty backlog would read as "exactly
-	// on goal" in the figures.
-	if len(st.Jobs) > 0 {
-		l.rec.Series("jobs/hypoUtility").Add(now, plan.HypotheticalJobUtility)
-		if len(plan.ClassHypoUtility) > 1 {
-			for class, u := range plan.ClassHypoUtility {
-				l.rec.Series("jobs/"+class+"/hypoUtility").Add(now, u)
-			}
-		}
-	}
-	l.rec.Series("jobs/demand").Add(now, float64(plan.JobDemand))
-	l.rec.Series("jobs/alloc").Add(now, float64(plan.JobTarget))
-	l.rec.Series("ctrl/equalized").Add(now, plan.EqualizedUtility)
-	for id, d := range plan.AppDemand {
-		l.rec.Series("trans/"+string(id)+"/demand").Add(now, float64(d))
-	}
-	for id, a := range plan.AppTarget {
-		l.rec.Series("trans/"+string(id)+"/alloc").Add(now, float64(a))
-	}
-	stats := l.jobs.Stats()
-	l.rec.Series("jobs/pending").Add(now, float64(stats.Pending))
-	l.rec.Series("jobs/runningCycle").Add(now, float64(stats.Running))
-	l.rec.Series("jobs/suspendedCycle").Add(now, float64(stats.Suspended))
-	l.rec.Series("jobs/completed").Add(now, float64(stats.Completed))
-	cnt := l.mgr.Counters()
-	l.rec.Series("ops/migrations").Add(now, float64(cnt.Migrations))
-	l.rec.Series("ops/suspends").Add(now, float64(cnt.Suspends))
-
-	l.Execute(plan)
-}
-
-// Execute enacts a plan with two-phase ordering.
-func (l *Loop) Execute(plan *core.Plan) {
-	var deferred []core.Action
-	for _, act := range plan.Actions {
-		switch a := act.(type) {
-		case core.SuspendJob:
-			l.try(l.jobs.Suspend(a.Job), act)
-		case core.RemoveInstance:
-			l.try(l.removeInstance(a), act)
-		case core.SetJobShare:
-			l.try(l.jobs.SetShare(a.Job, a.Share), act)
-		case core.SetInstanceShare:
-			l.try(l.setInstanceShare(a), act)
-		default:
-			deferred = append(deferred, act)
-		}
-	}
-	if len(deferred) == 0 {
-		return
-	}
-	enact := func(sim.Time) {
-		for _, act := range deferred {
-			switch a := act.(type) {
-			case core.StartJob:
-				l.try(l.jobs.Start(a.Job, a.Node, a.Share), act)
-			case core.ResumeJob:
-				l.try(l.jobs.Resume(a.Job, a.Node, a.Share), act)
-			case core.MigrateJob:
-				if err := l.jobs.Migrate(a.Job, a.Dst); err != nil {
-					l.try(err, act)
-					continue
-				}
-				l.try(l.jobs.SetShare(a.Job, a.Share), act)
-			case core.AddInstance:
-				l.try(l.addInstance(a), act)
-			default:
-				panic(fmt.Sprintf("control: unhandled deferred action %T", act))
-			}
-		}
-	}
-	if l.opts.ActuationDelay == 0 {
-		enact(l.eng.Now())
-		return
-	}
-	l.eng.After(l.opts.ActuationDelay, "actuate/"+l.ctrl.Name(), enact)
-}
-
-// try counts failed actions; successes pass through silently.
-func (l *Loop) try(err error, act core.Action) {
-	if err == nil {
-		return
-	}
-	l.failedActions++
-	l.rec.AddCounter("ctrl/actionsFailed", 1)
-}
-
-func (l *Loop) appOf(id trans.AppID) (*trans.App, error) {
-	if l.web == nil {
-		return nil, fmt.Errorf("control: no web runtime for app %q", id)
-	}
-	a, ok := l.web.App(id)
-	if !ok {
-		return nil, fmt.Errorf("control: unknown app %q", id)
-	}
-	return a, nil
-}
-
-func (l *Loop) addInstance(a core.AddInstance) error {
-	app, err := l.appOf(a.App)
-	if err != nil {
-		return err
-	}
-	return app.AddInstance(a.Node, a.Share)
-}
-
-func (l *Loop) removeInstance(a core.RemoveInstance) error {
-	app, err := l.appOf(a.App)
-	if err != nil {
-		return err
-	}
-	return app.RemoveInstance(a.Node)
-}
-
-func (l *Loop) setInstanceShare(a core.SetInstanceShare) error {
-	app, err := l.appOf(a.App)
-	if err != nil {
-		return err
-	}
-	return app.SetInstanceShare(a.Node, a.Share)
-}
-
-// sample records fine-grained series between cycles.
-func (l *Loop) sample(now float64) {
-	stats := l.jobs.Stats()
-	l.rec.Series("jobs/running").Add(now, float64(stats.Running))
-	if l.web != nil {
-		for _, a := range l.web.Apps() {
-			rt := a.TrueRT(now)
-			l.rec.Series("trans/"+string(a.ID())+"/rt_fine").Add(now, rt)
-		}
-	}
+	l.sess.Cycle(l.backend, l.rec, t0, now)
 }
 
 // FailNode injects a node failure: the node goes offline and every
 // resident VM is force-evicted (jobs fall back to Suspended with
 // checkpoint semantics; web instances are discarded).
-func (l *Loop) FailNode(id cluster.NodeID) error {
-	if !l.cl.SetOnline(id, false) {
-		return fmt.Errorf("control: unknown node %q", id)
-	}
-	l.mgr.ForceEvict(id)
-	l.rec.AddCounter("faults/nodeFailures", 1)
-	return nil
-}
+func (l *Loop) FailNode(id cluster.NodeID) error { return l.backend.FailNode(id) }
 
 // RestoreNode brings a failed node back online.
-func (l *Loop) RestoreNode(id cluster.NodeID) error {
-	if !l.cl.SetOnline(id, true) {
-		return fmt.Errorf("control: unknown node %q", id)
-	}
-	return nil
-}
+func (l *Loop) RestoreNode(id cluster.NodeID) error { return l.backend.RestoreNode(id) }

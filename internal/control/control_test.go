@@ -25,7 +25,11 @@ func rig(t *testing.T, nNodes int, ctrl core.Controller, opts Options) (*sim.Eng
 	jobs := batch.NewRuntime(eng, mgr)
 	web := trans.NewRuntime(eng, mgr, rng.NewSource(9).Stream("noise"))
 	rec := metrics.NewRecorder()
-	loop, err := NewLoop(eng, cl, mgr, jobs, web, ctrl, rec, opts)
+	sess, err := NewSession(ctrl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loop, err := NewLoop(eng, cl, mgr, jobs, web, sess, rec, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -266,13 +270,23 @@ func TestNewLoopValidation(t *testing.T) {
 	mgr := vm.NewManager(eng, cl, vm.Costs{})
 	jobs := batch.NewRuntime(eng, mgr)
 	rec := metrics.NewRecorder()
-	if _, err := NewLoop(eng, cl, mgr, jobs, nil, core.New(core.DefaultConfig()), rec, Options{CyclePeriod: 0}); err == nil {
+	sess, err := NewSession(core.New(core.DefaultConfig()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewLoop(eng, cl, mgr, jobs, nil, sess, rec, Options{CyclePeriod: 0}); err == nil {
 		t.Error("invalid options accepted")
 	}
-	if _, err := NewLoop(nil, cl, mgr, jobs, nil, core.New(core.DefaultConfig()), rec, DefaultOptions()); err == nil {
+	if _, err := NewLoop(nil, cl, mgr, jobs, nil, sess, rec, DefaultOptions()); err == nil {
 		t.Error("nil engine accepted")
 	}
-	if _, err := NewLoop(eng, cl, mgr, jobs, nil, core.New(core.DefaultConfig()), rec, DefaultOptions()); err != nil {
+	if _, err := NewLoop(eng, cl, mgr, jobs, nil, nil, rec, DefaultOptions()); err == nil {
+		t.Error("nil session accepted")
+	}
+	if _, err := NewSession(nil); err == nil {
+		t.Error("nil controller accepted")
+	}
+	if _, err := NewLoop(eng, cl, mgr, jobs, nil, sess, rec, DefaultOptions()); err != nil {
 		t.Errorf("valid loop rejected: %v", err)
 	}
 }
@@ -338,7 +352,11 @@ func TestActuationDelayZeroStillWorks(t *testing.T) {
 	mgr := vm.NewManager(eng, cl, vm.Costs{}) // instant actuation
 	jobs := batch.NewRuntime(eng, mgr)
 	rec := metrics.NewRecorder()
-	loop, err := NewLoop(eng, cl, mgr, jobs, nil, core.New(core.DefaultConfig()), rec, opts)
+	sess, err := NewSession(core.New(core.DefaultConfig()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	loop, err := NewLoop(eng, cl, mgr, jobs, nil, sess, rec, opts)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,222 @@
+package control
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"slaplace/api"
+	"slaplace/internal/core"
+	"slaplace/internal/metrics"
+)
+
+// Recorder series names for the controller-side plan-reuse stats.
+const (
+	// SeriesPlanMode records how each cycle's plan was produced
+	// (core.PlanMode as a float: 0 full, 1 incremental, 2 replayed).
+	SeriesPlanMode = "ctrl/planMode"
+	// SeriesDemandDelta records the aggregate CPU-demand drift each
+	// cycle observed against the previous one, in MHz.
+	SeriesDemandDelta = "ctrl/demandDelta"
+)
+
+// Session is a long-lived planning conversation with one controller.
+// It owns the controller across calls — for the paper's placement
+// controller that means the allocation arena, the node indexes and the
+// incremental reuse tiers all survive from one Propose (or Cycle) to
+// the next, so steady-state re-plans stay cheap no matter how the
+// snapshots arrive: in process, from the simulator loop, or over the
+// wire through the HTTP daemon.
+//
+// A Session is safe for concurrent use; calls serialize on an internal
+// lock (plans are stateful: each one advances the controller's memo).
+type Session struct {
+	mu   sync.Mutex
+	ctrl core.Controller
+
+	cycles int
+
+	// wire is the lazily created backend behind Propose/ProposeDelta;
+	// hasNow/lastNow enforce monotonic snapshot time on the wire path.
+	wire    *WireBackend
+	hasNow  bool
+	lastNow float64
+}
+
+// Wire-path errors the serving layer distinguishes.
+var (
+	// ErrNoBaseSnapshot rejects a delta before any full snapshot.
+	ErrNoBaseSnapshot = errors.New("control: delta without a base snapshot")
+	// ErrBaseCycleMismatch rejects a delta whose baseCycle is not the
+	// session's current cycle — the caller missed a response and must
+	// re-send a full snapshot.
+	ErrBaseCycleMismatch = errors.New("control: delta baseCycle does not match session cycle")
+	// ErrTimeRegression rejects a snapshot older than the last one.
+	ErrTimeRegression = errors.New("control: snapshot time went backwards")
+)
+
+// NewSession opens a session over the given controller.
+func NewSession(ctrl core.Controller) (*Session, error) {
+	if ctrl == nil {
+		return nil, fmt.Errorf("control: nil controller")
+	}
+	return &Session{ctrl: ctrl}, nil
+}
+
+// Name returns the controller's name.
+func (s *Session) Name() string { return s.ctrl.Name() }
+
+// Controller returns the owned controller.
+func (s *Session) Controller() core.Controller { return s.ctrl }
+
+// Cycles returns how many plans the session has produced.
+func (s *Session) Cycles() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cycles
+}
+
+// TracksStats reports whether the controller exposes plan-reuse
+// statistics (core.PlanStatsProvider).
+func (s *Session) TracksStats() bool {
+	_, ok := s.ctrl.(core.PlanStatsProvider)
+	return ok
+}
+
+// PlanStats returns the controller's cumulative plan-reuse statistics,
+// zero when the controller does not track them.
+func (s *Session) PlanStats() core.PlanStats {
+	if sp, ok := s.ctrl.(core.PlanStatsProvider); ok {
+		return sp.PlanStats()
+	}
+	return core.PlanStats{}
+}
+
+// plan runs the controller under the session lock and returns the plan
+// with the cycle's reuse stats.
+func (s *Session) plan(st *core.State) (*core.Plan, core.PlanStats) {
+	plan := s.ctrl.Plan(st)
+	s.cycles++
+	var stats core.PlanStats
+	if sp, ok := s.ctrl.(core.PlanStatsProvider); ok {
+		stats = sp.PlanStats()
+	}
+	return plan, stats
+}
+
+// recordCycle adds the controller-side series for one cycle: the plan
+// reuse stats (when tracked) and the plan diagnostics the paper's
+// figures plot.
+func (s *Session) recordCycle(rec *metrics.Recorder, st *core.State,
+	plan *core.Plan, stats core.PlanStats, now float64) {
+	if s.TracksStats() {
+		rec.Series(SeriesPlanMode).Add(now, float64(stats.LastMode))
+		rec.Series(SeriesDemandDelta).Add(now, float64(stats.LastDemandDelta))
+	}
+	// The hypothetical utility is only meaningful while incomplete jobs
+	// exist; recording zero for an empty backlog would read as "exactly
+	// on goal" in the figures.
+	if len(st.Jobs) > 0 {
+		rec.Series("jobs/hypoUtility").Add(now, plan.HypotheticalJobUtility)
+		if len(plan.ClassHypoUtility) > 1 {
+			for class, u := range plan.ClassHypoUtility {
+				rec.Series("jobs/"+class+"/hypoUtility").Add(now, u)
+			}
+		}
+	}
+	rec.Series("jobs/demand").Add(now, float64(plan.JobDemand))
+	rec.Series("jobs/alloc").Add(now, float64(plan.JobTarget))
+	rec.Series("ctrl/equalized").Add(now, plan.EqualizedUtility)
+	for id, d := range plan.AppDemand {
+		rec.Series("trans/"+string(id)+"/demand").Add(now, float64(d))
+	}
+	for id, a := range plan.AppTarget {
+		rec.Series("trans/"+string(id)+"/alloc").Add(now, float64(a))
+	}
+}
+
+// Cycle runs one monitor → plan → actuate cycle over the backend:
+// snapshot the world, record its observations, plan, record the plan's
+// diagnostics, enact. (t0, now] is the monitoring window. rec may be
+// nil to skip all recording (a wire daemon serving many sessions does
+// not want unbounded series growth).
+func (s *Session) Cycle(b ClusterBackend, rec *metrics.Recorder, t0, now float64) (*core.Plan, core.PlanStats) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cycle(b, rec, t0, now)
+}
+
+func (s *Session) cycle(b ClusterBackend, rec *metrics.Recorder, t0, now float64) (*core.Plan, core.PlanStats) {
+	st := b.Snapshot(t0, now)
+	if rec != nil {
+		b.Observe(rec, st, now)
+	}
+	plan, stats := s.plan(st)
+	if rec != nil {
+		s.recordCycle(rec, st, plan, stats, now)
+	}
+	b.Enact(plan)
+	return plan, stats
+}
+
+// Propose plans against a full wire snapshot and returns the wire
+// plan. The session retains the decoded state, so subsequent calls may
+// send a SnapshotDelta via ProposeDelta instead. Snapshot time must
+// not go backwards across calls (equal is fine — an unchanged
+// snapshot replays the cached plan).
+func (s *Session) Propose(snap *api.Snapshot) (*api.Plan, core.PlanStats, error) {
+	if err := snap.Validate(); err != nil {
+		return nil, core.PlanStats{}, err
+	}
+	st, err := snap.CoreState()
+	if err != nil {
+		return nil, core.PlanStats{}, err
+	}
+	return s.proposeState(st)
+}
+
+// ProposeDelta plans against the session's retained snapshot patched
+// with the delta — the steady-state fast path of the wire protocol.
+// The delta's BaseCycle must equal the session's current cycle count.
+func (s *Session) ProposeDelta(d *api.SnapshotDelta) (*api.Plan, core.PlanStats, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.wire == nil || s.wire.LastState() == nil {
+		return nil, core.PlanStats{}, ErrNoBaseSnapshot
+	}
+	if d.BaseCycle != s.cycles {
+		return nil, core.PlanStats{}, fmt.Errorf("%w: base %d, session at %d",
+			ErrBaseCycleMismatch, d.BaseCycle, s.cycles)
+	}
+	st, err := d.ApplyTo(s.wire.LastState())
+	if err != nil {
+		return nil, core.PlanStats{}, err
+	}
+	return s.proposeLocked(st)
+}
+
+// proposeState is the wire planning path for a full, already-converted
+// state.
+func (s *Session) proposeState(st *core.State) (*api.Plan, core.PlanStats, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.proposeLocked(st)
+}
+
+func (s *Session) proposeLocked(st *core.State) (*api.Plan, core.PlanStats, error) {
+	if s.hasNow && st.Now < s.lastNow {
+		return nil, core.PlanStats{}, fmt.Errorf("%w: %v after %v",
+			ErrTimeRegression, st.Now, s.lastNow)
+	}
+	if s.wire == nil {
+		s.wire = &WireBackend{}
+	}
+	s.wire.Push(st)
+	plan, stats := s.cycle(s.wire, nil, s.lastNow, st.Now)
+	s.hasNow, s.lastNow = true, st.Now
+	wire, err := api.FromCorePlan(st, plan)
+	if err != nil {
+		return nil, stats, err
+	}
+	return wire, stats, nil
+}

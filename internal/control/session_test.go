@@ -1,0 +1,266 @@
+package control
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"slaplace/api"
+	"slaplace/internal/cluster"
+	"slaplace/internal/core"
+	"slaplace/internal/queueing"
+	"slaplace/internal/res"
+	"slaplace/internal/workload/batch"
+)
+
+// steadyState builds a crowded snapshot whose discrete placement
+// provably cannot change cycle over cycle (the carry-over tier's
+// precondition): every node hosts a web instance plus two running
+// jobs, and the pending backlog fits neither free memory nor any
+// single eviction.
+func steadyState(t *testing.T, nodes, jobs int) *core.State {
+	t.Helper()
+	model, err := queueing.NewMG1PS(1350, 4500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := &core.State{Now: 50000}
+	instances := map[cluster.NodeID]res.CPU{}
+	for i := 0; i < nodes; i++ {
+		id := cluster.NodeID(fmt.Sprintf("n%03d", i))
+		st.Nodes = append(st.Nodes, core.NodeInfo{ID: id, CPU: 18000, Mem: 16000})
+		instances[id] = 150
+	}
+	running := 2 * nodes
+	if running > jobs {
+		running = jobs
+	}
+	for i := 0; i < jobs; i++ {
+		info := core.JobInfo{
+			ID:        batch.JobID(fmt.Sprintf("j%04d", i)),
+			State:     batch.Pending,
+			Remaining: res.Work(4500 * float64(5000+i*37)),
+			MaxSpeed:  4500,
+			Mem:       12000,
+			Goal:      60000 + float64(i*11),
+			Submitted: float64(i),
+		}
+		if i < running {
+			info.State = batch.Running
+			info.Node = st.Nodes[i%nodes].ID
+			info.Share = 4500
+			info.Mem = 5000
+			info.Goal = 120000 + float64(i)
+		}
+		st.Jobs = append(st.Jobs, info)
+	}
+	st.Apps = []core.AppInfo{{
+		ID: "web", Lambda: 65, RTGoal: 3.0, Model: model,
+		InstanceMem: 1000, MaxPerInstance: 18000, MinInstances: nodes,
+		Instances: instances,
+	}}
+	return st
+}
+
+func wireSnapshot(t *testing.T, st *core.State) *api.Snapshot {
+	t.Helper()
+	snap, err := api.FromCoreState(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return snap
+}
+
+// TestSessionProposeMatchesController: the wire path must plan exactly
+// what the controller plans in process — same digest, cycle for cycle.
+func TestSessionProposeMatchesController(t *testing.T) {
+	st := steadyState(t, 4, 20)
+	ref := core.New(core.DefaultConfig())
+	wantPlan := ref.Plan(st)
+
+	sess, err := NewSession(core.New(core.DefaultConfig()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := sess.Propose(wireSnapshot(t, st))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := api.FromCorePlan(st, wantPlan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Actions) != len(want.Actions) {
+		t.Fatalf("wire plan has %d actions, controller %d", len(got.Actions), len(want.Actions))
+	}
+	for i := range got.Actions {
+		if got.Actions[i] != want.Actions[i] {
+			t.Errorf("action %d: %+v != %+v", i, got.Actions[i], want.Actions[i])
+		}
+	}
+	if sess.Cycles() != 1 {
+		t.Errorf("cycles = %d", sess.Cycles())
+	}
+}
+
+// TestSessionReuseTiersAcrossProposes: incremental reuse must survive
+// from one Propose to the next — an identical snapshot replays, a
+// drifted one carries over, and the stats say so.
+func TestSessionReuseTiersAcrossProposes(t *testing.T) {
+	st := steadyState(t, 4, 20)
+	sess, err := NewSession(core.New(core.DefaultConfig()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sess.TracksStats() {
+		t.Fatal("placement controller session does not track stats")
+	}
+	if _, _, err := sess.Propose(wireSnapshot(t, st)); err != nil {
+		t.Fatal(err)
+	}
+	// Same snapshot again: replay tier.
+	_, stats, err := sess.Propose(wireSnapshot(t, st))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.LastMode != core.PlanReplayed {
+		t.Errorf("identical snapshot planned in mode %v, want replayed", stats.LastMode)
+	}
+	// Demand drift only: carry-over tier.
+	st.Apps[0].Lambda = 66
+	_, stats, err = sess.Propose(wireSnapshot(t, st))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.LastMode != core.PlanIncremental {
+		t.Errorf("drifted snapshot planned in mode %v, want incremental", stats.LastMode)
+	}
+}
+
+// TestSessionProposeDelta: a delta request patches the retained state
+// and plans identically to re-sending the full snapshot.
+func TestSessionProposeDelta(t *testing.T) {
+	st := steadyState(t, 4, 20)
+	full, err := NewSession(core.New(core.DefaultConfig()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	delta, err := NewSession(core.New(core.DefaultConfig()))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Deltas before any snapshot are rejected.
+	if _, _, err := delta.ProposeDelta(&api.SnapshotDelta{Now: 1}); !errors.Is(err, ErrNoBaseSnapshot) {
+		t.Errorf("delta without base: %v", err)
+	}
+
+	if _, _, err := full.Propose(wireSnapshot(t, st)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := delta.Propose(wireSnapshot(t, st)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Drift the web demand: full session re-sends everything, delta
+	// session patches one app.
+	st.Apps[0].Lambda = 70
+	wantWire, _, err := full.Propose(wireSnapshot(t, st))
+	if err != nil {
+		t.Fatal(err)
+	}
+	drifted := wireSnapshot(t, st)
+	d := &api.SnapshotDelta{
+		BaseCycle:  delta.Cycles(),
+		Now:        st.Now,
+		UpsertApps: []api.App{drifted.Apps[0]},
+	}
+	gotWire, stats, err := delta.ProposeDelta(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.LastMode != core.PlanIncremental {
+		t.Errorf("delta planned in mode %v, want incremental", stats.LastMode)
+	}
+	if len(gotWire.Actions) != len(wantWire.Actions) {
+		t.Fatalf("delta plan %d actions, full plan %d", len(gotWire.Actions), len(wantWire.Actions))
+	}
+	for i := range gotWire.Actions {
+		if gotWire.Actions[i] != wantWire.Actions[i] {
+			t.Errorf("action %d: %+v != %+v", i, gotWire.Actions[i], wantWire.Actions[i])
+		}
+	}
+
+	// A stale base cycle is rejected.
+	if _, _, err := delta.ProposeDelta(d); !errors.Is(err, ErrBaseCycleMismatch) {
+		t.Errorf("stale base cycle: %v", err)
+	}
+}
+
+// TestSessionTimeRegression: snapshots must not move backwards.
+func TestSessionTimeRegression(t *testing.T) {
+	st := steadyState(t, 2, 4)
+	sess, err := NewSession(core.New(core.DefaultConfig()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := sess.Propose(wireSnapshot(t, st)); err != nil {
+		t.Fatal(err)
+	}
+	st.Now -= 100
+	if _, _, err := sess.Propose(wireSnapshot(t, st)); !errors.Is(err, ErrTimeRegression) {
+		t.Errorf("backwards snapshot: %v", err)
+	}
+}
+
+// TestSessionBaselineController: sessions host any controller; stats
+// are simply untracked.
+func TestSessionBaselineController(t *testing.T) {
+	st := steadyState(t, 2, 4)
+	sess, err := NewSession(fcfsLike{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sess.TracksStats() {
+		t.Error("stateless controller claims stats")
+	}
+	plan, stats, err := sess.Propose(wireSnapshot(t, st))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan == nil || stats != (core.PlanStats{}) {
+		t.Errorf("baseline session: plan %v stats %+v", plan, stats)
+	}
+}
+
+// fcfsLike is a trivial deterministic controller for session tests
+// (keeps this package free of an internal/baseline import).
+type fcfsLike struct{}
+
+func (fcfsLike) Name() string { return "fcfs-like" }
+
+func (fcfsLike) Plan(st *core.State) *core.Plan {
+	plan := core.NewPlan()
+	ledgers := core.NewLedgers(st.Nodes)
+	ledgers.SeedRunning(st)
+	shares := map[batch.JobID]res.CPU{}
+	for i := range st.Jobs {
+		j := &st.Jobs[i]
+		if j.State == batch.Running {
+			shares[j.ID] = j.Share
+			continue
+		}
+		placed := false
+		ledgers.Each(func(l *core.Ledger) {
+			if placed || l.FreeMem() < j.Mem {
+				return
+			}
+			plan.Actions = append(plan.Actions, core.StartJob{Job: j.ID, Node: l.Info.ID, Share: j.MaxSpeed})
+			l.Occupy(*j)
+			shares[j.ID] = j.MaxSpeed
+			placed = true
+		})
+	}
+	core.RecordJobUtility(st, plan, shares)
+	return plan
+}

@@ -1,0 +1,63 @@
+package control
+
+import (
+	"math"
+
+	"slaplace/internal/core"
+	"slaplace/internal/metrics"
+	"slaplace/internal/utility"
+)
+
+// WireBackend adapts a remotely-monitored cluster as a ClusterBackend:
+// snapshots arrive from the caller (decoded wire documents pushed via
+// Push) and enacted plans are collected for the caller to ship back —
+// actuation is the remote agent's job, so Enact never fails here.
+type WireBackend struct {
+	st   *core.State
+	plan *core.Plan
+}
+
+var _ ClusterBackend = (*WireBackend)(nil)
+
+// Push feeds the next monitoring snapshot. The backend takes
+// ownership: the state must not be mutated afterwards.
+func (w *WireBackend) Push(st *core.State) { w.st = st }
+
+// Snapshot implements ClusterBackend: the last pushed state. The
+// observation window is the remote monitor's concern — wire snapshots
+// carry already-measured arrival rates.
+func (w *WireBackend) Snapshot(t0, now float64) *core.State { return w.st }
+
+// Observe implements ClusterBackend: the measured transactional
+// series, scored from the snapshot's observed response times the same
+// way the simulator scores its runtimes.
+func (w *WireBackend) Observe(rec *metrics.Recorder, st *core.State, now float64) {
+	for i := range st.Apps {
+		app := &st.Apps[i]
+		id := string(app.ID)
+		fn := app.Fn
+		if fn == nil {
+			fn = utility.DefaultFunction()
+		}
+		perf := math.Inf(-1)
+		if !math.IsInf(app.MeasuredRT, 1) {
+			perf = (app.RTGoal - app.MeasuredRT) / app.RTGoal
+		}
+		rec.Series("trans/"+id+"/rt").Add(now, app.MeasuredRT)
+		rec.Series("trans/"+id+"/utility").Add(now, fn.Eval(perf))
+		rec.Series("trans/"+id+"/lambda").Add(now, app.Lambda)
+	}
+}
+
+// Enact implements ClusterBackend by retaining the plan for the wire.
+func (w *WireBackend) Enact(plan *core.Plan) { w.plan = plan }
+
+// FailedActions implements ClusterBackend; wire actuation failures
+// surface on the remote side, not here.
+func (w *WireBackend) FailedActions() int { return 0 }
+
+// LastPlan returns the most recently enacted plan.
+func (w *WireBackend) LastPlan() *core.Plan { return w.plan }
+
+// LastState returns the most recently pushed state.
+func (w *WireBackend) LastState() *core.State { return w.st }

@@ -199,7 +199,15 @@ func Run(sc Scenario) (*Result, error) {
 	web := trans.NewRuntime(eng, mgr, src.Stream("observation-noise"))
 	rec := metrics.NewRecorder()
 
-	loop, errLoop := control.NewLoop(eng, cl, mgr, jobs, web, sc.Controller, rec, sc.Loop)
+	// The loop plans through a Session — the same long-lived planning
+	// object the serving mode (cmd/slaplace-serve) multiplexes per
+	// cluster — so incremental reuse semantics are identical whether
+	// cycles are driven by the simulator or by wire requests.
+	sess, errSess := control.NewSession(sc.Controller)
+	if errSess != nil {
+		return nil, errSess
+	}
+	loop, errLoop := control.NewLoop(eng, cl, mgr, jobs, web, sess, rec, sc.Loop)
 	if errLoop != nil {
 		return nil, errLoop
 	}
@@ -303,9 +311,7 @@ func Run(sc Scenario) (*Result, error) {
 	if replayer != nil {
 		res.Submitted += replayer.Count()
 	}
-	if sp, ok := sc.Controller.(core.PlanStatsProvider); ok {
-		res.PlanStats = sp.PlanStats()
-	}
+	res.PlanStats = sess.PlanStats()
 	return res, nil
 }
 

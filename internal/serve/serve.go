@@ -1,0 +1,246 @@
+// Package serve implements the placement daemon behind
+// cmd/slaplace-serve: an HTTP front end that multiplexes long-lived
+// planning sessions (internal/control.Session) keyed by cluster ID.
+//
+// Endpoints (all JSON, schema in package api):
+//
+//	POST /v1/plan     plan one cycle for a cluster. The body is an
+//	                  api.PlanRequest: a full snapshot, or a delta
+//	                  against the session's retained state. The
+//	                  response carries the plan (unless a delta reply
+//	                  was requested), the typed action delta against
+//	                  the session's previous plan, and reuse stats.
+//	GET  /v1/healthz  liveness plus schema version and session count.
+//	GET  /v1/stats    per-session cycle and plan-reuse statistics.
+//
+// Sessions are created on first use per cluster ID and retain the
+// controller's incremental state across requests — a steady-state
+// cluster pays the carry-over re-plan price, not the from-scratch
+// price, on every cycle. Requests for the same cluster serialize on a
+// per-session lock; distinct clusters plan concurrently.
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+
+	"slaplace/api"
+	"slaplace/internal/control"
+	"slaplace/internal/core"
+)
+
+// DefaultMaxBodyBytes bounds a plan request body (64 MiB fits a
+// snapshot of several hundred thousand jobs).
+const DefaultMaxBodyBytes = 64 << 20
+
+// Options configures a Server.
+type Options struct {
+	// NewController builds the controller for a new session. nil means
+	// the paper's placement controller with the default configuration.
+	NewController func() core.Controller
+	// MaxSessions caps concurrent sessions; 0 means unlimited. A plan
+	// request for a new cluster beyond the cap is rejected with 429.
+	MaxSessions int
+	// MaxBodyBytes caps a request body; 0 means DefaultMaxBodyBytes.
+	MaxBodyBytes int64
+}
+
+// Server multiplexes planning sessions keyed by cluster ID.
+type Server struct {
+	opts Options
+
+	mu       sync.Mutex
+	sessions map[string]*clusterSession
+}
+
+// clusterSession is one hosted session plus what the wire protocol
+// layers on top: the previous wire plan (for response deltas), under a
+// lock that serializes requests for the same cluster.
+type clusterSession struct {
+	mu   sync.Mutex
+	sess *control.Session
+	prev *api.Plan
+}
+
+// New builds a server.
+func New(opts Options) *Server {
+	if opts.NewController == nil {
+		opts.NewController = func() core.Controller { return core.New(core.DefaultConfig()) }
+	}
+	if opts.MaxBodyBytes == 0 {
+		opts.MaxBodyBytes = DefaultMaxBodyBytes
+	}
+	return &Server{opts: opts, sessions: make(map[string]*clusterSession)}
+}
+
+// Handler returns the daemon's HTTP handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/plan", s.handlePlan)
+	mux.HandleFunc("/v1/healthz", s.handleHealthz)
+	mux.HandleFunc("/v1/stats", s.handleStats)
+	return mux
+}
+
+// session returns the cluster's session, creating it on first use.
+func (s *Server) session(clusterID string) (*clusterSession, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if cs, ok := s.sessions[clusterID]; ok {
+		return cs, nil
+	}
+	if s.opts.MaxSessions > 0 && len(s.sessions) >= s.opts.MaxSessions {
+		return nil, fmt.Errorf("serve: session limit %d reached", s.opts.MaxSessions)
+	}
+	sess, err := control.NewSession(s.opts.NewController())
+	if err != nil {
+		return nil, err
+	}
+	cs := &clusterSession{sess: sess}
+	s.sessions[clusterID] = cs
+	return cs, nil
+}
+
+// httpError writes a JSON error body.
+func httpError(w http.ResponseWriter, status int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+// writeJSON writes one JSON response document.
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	data, err := json.Marshal(v)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	data = append(data, '\n')
+	_, _ = w.Write(data)
+}
+
+func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		httpError(w, http.StatusMethodNotAllowed, errors.New("POST only"))
+		return
+	}
+	body := http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
+	req, err := api.DecodePlanRequest(body)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	clusterID := req.ClusterID
+	if clusterID == "" {
+		clusterID = "default"
+	}
+	cs, err := s.session(clusterID)
+	if err != nil {
+		httpError(w, http.StatusTooManyRequests, err)
+		return
+	}
+
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	var plan *api.Plan
+	var stats core.PlanStats
+	if req.Snapshot != nil {
+		plan, stats, err = cs.sess.Propose(req.Snapshot)
+	} else {
+		plan, stats, err = cs.sess.ProposeDelta(req.Delta)
+	}
+	if err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, control.ErrBaseCycleMismatch) ||
+			errors.Is(err, control.ErrNoBaseSnapshot) ||
+			errors.Is(err, control.ErrTimeRegression) {
+			status = http.StatusConflict
+		}
+		httpError(w, status, err)
+		return
+	}
+
+	resp := &api.PlanResponse{
+		SchemaVersion: api.SchemaVersion,
+		ClusterID:     clusterID,
+		Cycle:         cs.sess.Cycles(),
+	}
+	if cs.sess.TracksStats() {
+		resp.PlanMode = stats.LastMode.String()
+		resp.Stats = wireStats(stats)
+	}
+	// On the session's first cycle prev is nil and Diff returns the
+	// bootstrap delta against the empty placement, so a delta-reply
+	// client always receives something enactable.
+	resp.Delta = plan.Diff(cs.prev)
+	if req.Reply != api.ReplyDelta {
+		resp.Plan = plan
+	}
+	cs.prev = plan
+	writeJSON(w, resp)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		httpError(w, http.StatusMethodNotAllowed, errors.New("GET only"))
+		return
+	}
+	s.mu.Lock()
+	n := len(s.sessions)
+	s.mu.Unlock()
+	writeJSON(w, &api.HealthResponse{
+		Status:        "ok",
+		SchemaVersion: api.SchemaVersion,
+		Sessions:      n,
+	})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		httpError(w, http.StatusMethodNotAllowed, errors.New("GET only"))
+		return
+	}
+	s.mu.Lock()
+	ids := make([]string, 0, len(s.sessions))
+	byID := make(map[string]*clusterSession, len(s.sessions))
+	for id, cs := range s.sessions {
+		ids = append(ids, id)
+		byID[id] = cs
+	}
+	s.mu.Unlock()
+	sort.Strings(ids)
+
+	resp := &api.StatsResponse{SchemaVersion: api.SchemaVersion, Sessions: []api.SessionStats{}}
+	for _, id := range ids {
+		cs := byID[id]
+		ss := api.SessionStats{
+			ClusterID:  id,
+			Controller: cs.sess.Name(),
+			Cycles:     cs.sess.Cycles(),
+		}
+		if cs.sess.TracksStats() {
+			ss.Stats = wireStats(cs.sess.PlanStats())
+		}
+		resp.Sessions = append(resp.Sessions, ss)
+	}
+	writeJSON(w, resp)
+}
+
+// wireStats converts controller plan stats to their wire form.
+func wireStats(stats core.PlanStats) *api.PlanStats {
+	return &api.PlanStats{
+		Full:               stats.Full,
+		Incremental:        stats.Incremental,
+		Replayed:           stats.Replayed,
+		LastMode:           stats.LastMode.String(),
+		LastDemandDeltaMHz: float64(stats.LastDemandDelta),
+	}
+}

@@ -1,0 +1,415 @@
+package serve
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"slaplace/api"
+	"slaplace/internal/baseline"
+	"slaplace/internal/control"
+	"slaplace/internal/core"
+	"slaplace/internal/experiments"
+)
+
+// captureController wraps a controller and converts every snapshot it
+// plans to the wire form — without changing the plans, so the
+// simulation (and therefore the captured state sequence) is exactly
+// the golden run's.
+type captureController struct {
+	inner core.Controller
+	snaps []*api.Snapshot
+	errs  []error
+}
+
+func (c *captureController) Name() string { return c.inner.Name() }
+
+func (c *captureController) Plan(st *core.State) *core.Plan {
+	snap, err := api.FromCoreState(st)
+	if err != nil {
+		c.errs = append(c.errs, err)
+	} else {
+		c.snaps = append(c.snaps, snap)
+	}
+	return c.inner.Plan(st)
+}
+
+// goldenControllers builds the five controllers the golden fixture
+// pins on the shortened baseline workload, keyed by their fixture
+// names. Fresh instances per call: replays must start cold.
+func goldenControllers() map[string]func() core.Controller {
+	return map[string]func() core.Controller{
+		"baseline/fcfs":      func() core.Controller { return baseline.FCFS{} },
+		"baseline/edf":       func() core.Controller { return baseline.EDF{} },
+		"baseline/fairshare": func() core.Controller { return baseline.FairShare{} },
+		"baseline/static60":  func() core.Controller { return baseline.Static{BatchFraction: 0.6} },
+		"baseline/utility":   func() core.Controller { return core.New(core.DefaultConfig()) },
+	}
+}
+
+// captureSnapshots runs the golden baseline scenario for a controller
+// and returns every control cycle's wire snapshot.
+func captureSnapshots(t *testing.T, newCtrl func() core.Controller) []*api.Snapshot {
+	t.Helper()
+	cap := &captureController{inner: newCtrl()}
+	sc := experiments.BaselineScenario(42, cap)
+	if _, err := experiments.Run(sc); err != nil {
+		t.Fatal(err)
+	}
+	if len(cap.errs) > 0 {
+		t.Fatalf("snapshot capture: %v", cap.errs[0])
+	}
+	if len(cap.snaps) == 0 {
+		t.Fatal("no snapshots captured")
+	}
+	return cap.snaps
+}
+
+// postPlan POSTs one plan request and returns the decoded response
+// plus the raw bytes of its "plan" field.
+func postPlan(t *testing.T, url string, req *api.PlanRequest) (*api.PlanResponse, json.RawMessage) {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := api.EncodePlanRequest(&buf, req); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+"/v1/plan", "application/json", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /v1/plan: %d: %s", resp.StatusCode, body)
+	}
+	var raw struct {
+		Plan json.RawMessage `json:"plan"`
+	}
+	if err := json.Unmarshal(body, &raw); err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := api.DecodePlanResponse(bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return decoded, raw.Plan
+}
+
+// TestServeByteIdenticalToInProcess is the serving mode's contract:
+// for every golden controller, replaying the golden run's snapshot
+// sequence through POST /v1/plan returns, cycle for cycle, the exact
+// bytes an in-process Session.Propose produces — and the plan
+// sequence digested at the core level still matches the committed
+// golden fixture, proving the wire round trip changes nothing.
+func TestServeByteIdenticalToInProcess(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full golden replays")
+	}
+	goldenPath := filepath.Join("..", "experiments", "testdata", "golden_plans.json")
+	data, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("read golden fixture: %v", err)
+	}
+	golden := map[string]string{}
+	if err := json.Unmarshal(data, &golden); err != nil {
+		t.Fatal(err)
+	}
+
+	for name, newCtrl := range goldenControllers() {
+		t.Run(strings.ReplaceAll(name, "/", "_"), func(t *testing.T) {
+			snaps := captureSnapshots(t, newCtrl)
+
+			// HTTP side: one server, one cluster session.
+			srv := New(Options{NewController: newCtrl})
+			ts := httptest.NewServer(srv.Handler())
+			defer ts.Close()
+
+			// In-process side: a fresh session over a fresh controller.
+			sess, err := control.NewSession(newCtrl())
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Core side: digest the replayed plan sequence like the
+			// golden test does.
+			digester := sha256.New()
+			ctrl := newCtrl()
+
+			for i, snap := range snaps {
+				wirePlan, _, err := sess.Propose(snap)
+				if err != nil {
+					t.Fatalf("cycle %d: Propose: %v", i, err)
+				}
+				inProcess, err := json.Marshal(wirePlan)
+				if err != nil {
+					t.Fatal(err)
+				}
+				_, overWire := postPlan(t, ts.URL, &api.PlanRequest{
+					ClusterID: "golden", Snapshot: snap,
+				})
+				if !bytes.Equal(inProcess, overWire) {
+					t.Fatalf("cycle %d: HTTP plan differs from in-process plan\nhttp: %.200s\nproc: %.200s",
+						i, overWire, inProcess)
+				}
+
+				st, err := snap.CoreState()
+				if err != nil {
+					t.Fatal(err)
+				}
+				io.WriteString(digester, ctrl.Plan(st).Digest())
+			}
+
+			if want, ok := golden[name]; ok {
+				if got := hex.EncodeToString(digester.Sum(nil)); got != want {
+					t.Errorf("replayed plan-sequence digest %s, want golden %s "+
+						"(the wire round trip changed planner behavior)", got, want)
+				}
+			} else {
+				t.Errorf("case %s missing from golden fixture", name)
+			}
+		})
+	}
+}
+
+// TestServeDeltaRequests: the delta protocol over HTTP — full snapshot
+// first, then a patch; a stale base cycle is a 409.
+func TestServeDeltaRequests(t *testing.T) {
+	snaps := captureSnapshots(t, func() core.Controller { return core.New(core.DefaultConfig()) })
+	if len(snaps) < 2 {
+		t.Fatalf("need 2 snapshots, got %d", len(snaps))
+	}
+	srv := New(Options{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// Reference: both snapshots in full against one session.
+	refResp, _ := postPlan(t, ts.URL, &api.PlanRequest{ClusterID: "full", Snapshot: snaps[0]})
+	if refResp.Cycle != 1 {
+		t.Fatalf("cycle %d after first plan", refResp.Cycle)
+	}
+	_, wantPlan := postPlan(t, ts.URL, &api.PlanRequest{ClusterID: "full", Snapshot: snaps[1]})
+
+	// Delta path: full snapshot, then patch to the second snapshot.
+	resp1, _ := postPlan(t, ts.URL, &api.PlanRequest{ClusterID: "delta", Snapshot: snaps[0]})
+	delta := &api.SnapshotDelta{
+		BaseCycle:  resp1.Cycle,
+		Now:        snaps[1].Now,
+		Nodes:      snaps[1].Nodes,
+		UpsertJobs: snaps[1].Jobs,
+		UpsertApps: snaps[1].Apps,
+	}
+	// Jobs that finished between the cycles must be removed.
+	next := map[string]bool{}
+	for _, j := range snaps[1].Jobs {
+		next[j.ID] = true
+	}
+	for _, j := range snaps[0].Jobs {
+		if !next[j.ID] {
+			delta.RemoveJobs = append(delta.RemoveJobs, j.ID)
+		}
+	}
+	resp2, gotPlan := postPlan(t, ts.URL, &api.PlanRequest{ClusterID: "delta", Delta: delta})
+	if !bytes.Equal(gotPlan, wantPlan) {
+		t.Errorf("delta-fed plan differs from full-snapshot plan")
+	}
+	if resp2.Cycle != 2 {
+		t.Errorf("cycle %d after delta", resp2.Cycle)
+	}
+
+	// Replaying the same delta (stale base) conflicts.
+	var buf bytes.Buffer
+	if err := api.EncodePlanRequest(&buf, &api.PlanRequest{ClusterID: "delta", Delta: delta}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/plan", "application/json", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Errorf("stale delta: status %d, want 409", resp.StatusCode)
+	}
+
+	// Delta replies omit the plan but carry the action delta.
+	drifted := *snaps[1]
+	apps := append([]api.App(nil), drifted.Apps...)
+	apps[0].Lambda *= 1.1
+	drifted.Apps = apps
+	resp3, raw := postPlan(t, ts.URL, &api.PlanRequest{
+		ClusterID: "delta", Snapshot: &drifted, Reply: api.ReplyDelta,
+	})
+	if len(raw) != 0 {
+		t.Errorf("delta reply embedded a full plan (%d bytes)", len(raw))
+	}
+	if resp3.Plan != nil {
+		t.Errorf("delta reply decoded a plan")
+	}
+
+	// A session's FIRST cycle answered with a delta reply must still
+	// give the client something enactable: the bootstrap delta against
+	// the empty placement.
+	resp4, raw := postPlan(t, ts.URL, &api.PlanRequest{
+		ClusterID: "fresh", Snapshot: snaps[0], Reply: api.ReplyDelta,
+	})
+	if len(raw) != 0 || resp4.Plan != nil {
+		t.Errorf("first-cycle delta reply embedded a full plan")
+	}
+	if len(resp4.Delta) == 0 {
+		t.Errorf("first-cycle delta reply carries no bootstrap actions")
+	}
+}
+
+// TestServeEndpoints covers the small surface: health, stats, method
+// and body validation.
+func TestServeEndpoints(t *testing.T) {
+	snaps := captureSnapshots(t, func() core.Controller { return core.New(core.DefaultConfig()) })
+	srv := New(Options{MaxSessions: 2})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	get := func(path string) (int, []byte) {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, body
+	}
+
+	code, body := get("/v1/healthz")
+	var health api.HealthResponse
+	if code != 200 || json.Unmarshal(body, &health) != nil || health.Status != "ok" {
+		t.Errorf("healthz: %d %s", code, body)
+	}
+	if health.SchemaVersion != api.SchemaVersion || health.Sessions != 0 {
+		t.Errorf("healthz: %+v", health)
+	}
+
+	postPlan(t, ts.URL, &api.PlanRequest{ClusterID: "a", Snapshot: snaps[0]})
+	postPlan(t, ts.URL, &api.PlanRequest{Snapshot: snaps[0]}) // -> "default"
+
+	code, body = get("/v1/stats")
+	var stats api.StatsResponse
+	if code != 200 || json.Unmarshal(body, &stats) != nil {
+		t.Fatalf("stats: %d %s", code, body)
+	}
+	if len(stats.Sessions) != 2 || stats.Sessions[0].ClusterID != "a" ||
+		stats.Sessions[1].ClusterID != "default" {
+		t.Errorf("stats sessions: %+v", stats.Sessions)
+	}
+	if stats.Sessions[0].Cycles != 1 || stats.Sessions[0].Stats == nil {
+		t.Errorf("session stats: %+v", stats.Sessions[0])
+	}
+
+	// Session cap: a third cluster is rejected.
+	var buf bytes.Buffer
+	if err := api.EncodePlanRequest(&buf, &api.PlanRequest{ClusterID: "c", Snapshot: snaps[0]}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/plan", "application/json", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Errorf("session cap: status %d, want 429", resp.StatusCode)
+	}
+
+	// Malformed body.
+	resp, err = http.Post(ts.URL+"/v1/plan", "application/json", strings.NewReader("{nope"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed body: status %d, want 400", resp.StatusCode)
+	}
+
+	// Wrong methods.
+	resp, err = http.Get(ts.URL + "/v1/plan")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/plan: status %d, want 405", resp.StatusCode)
+	}
+	resp, err = http.Post(ts.URL+"/v1/healthz", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST /v1/healthz: status %d, want 405", resp.StatusCode)
+	}
+}
+
+// TestServeConcurrentClusters: distinct clusters plan concurrently and
+// same-cluster requests serialize — exercised under -race in CI.
+func TestServeConcurrentClusters(t *testing.T) {
+	snaps := captureSnapshots(t, func() core.Controller { return core.New(core.DefaultConfig()) })
+	srv := New(Options{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	const clusters = 4
+	const perCluster = 3
+	var wg sync.WaitGroup
+	for c := 0; c < clusters; c++ {
+		for r := 0; r < perCluster; r++ {
+			wg.Add(1)
+			go func(c, r int) {
+				defer wg.Done()
+				snap := snaps[r%len(snaps)]
+				var buf bytes.Buffer
+				if err := api.EncodePlanRequest(&buf, &api.PlanRequest{
+					ClusterID: fmt.Sprintf("cluster-%d", c), Snapshot: snap,
+				}); err != nil {
+					t.Error(err)
+					return
+				}
+				resp, err := http.Post(ts.URL+"/v1/plan", "application/json", &buf)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				defer resp.Body.Close()
+				// Out-of-order timestamps for one cluster may conflict
+				// (409); anything else must succeed.
+				if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusConflict {
+					body, _ := io.ReadAll(resp.Body)
+					t.Errorf("cluster %d req %d: %d %s", c, r, resp.StatusCode, body)
+				}
+			}(c, r)
+		}
+	}
+	wg.Wait()
+
+	code := 0
+	resp, err := http.Get(ts.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health api.HealthResponse
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	code = resp.StatusCode
+	resp.Body.Close()
+	if code != 200 || health.Sessions != clusters {
+		t.Errorf("after fan-out: %d sessions (status %d), want %d", health.Sessions, code, clusters)
+	}
+}

@@ -205,3 +205,8 @@ func (pw *Piecewise) Invert(u float64) float64 {
 
 // Name implements Function.
 func (pw *Piecewise) Name() string { return fmt.Sprintf("piecewise[%d pts]", len(pw.pts)) }
+
+// Points returns the breakpoints in ascending-P order. The slice is a
+// copy: Piecewise functions are immutable once built, and serializers
+// (the api wire schema) must not be able to corrupt one.
+func (pw *Piecewise) Points() []Point { return append([]Point(nil), pw.pts...) }

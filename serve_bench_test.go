@@ -1,0 +1,276 @@
+// Serving-mode benchmarks: the steady-state cost of POST /v1/plan at
+// the HTTP-handler level, with and without session reuse. The CI
+// benchmark gate (cmd/benchgate) tracks these medians alongside the
+// planner's own (BenchmarkPlacementScale).
+package slaplace_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"slaplace/api"
+	"slaplace/internal/queueing"
+	"slaplace/internal/serve"
+)
+
+// servePlanBody encodes one full-snapshot plan request.
+func servePlanBody(b *testing.B, snap *api.Snapshot, reply string) []byte {
+	b.Helper()
+	var buf bytes.Buffer
+	err := api.EncodePlanRequest(&buf, &api.PlanRequest{
+		ClusterID: "bench", Snapshot: snap, Reply: reply,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// doPlan issues one handler-level plan request.
+func doPlan(b *testing.B, srv *serve.Server, body []byte) *httptest.ResponseRecorder {
+	b.Helper()
+	req := httptest.NewRequest("POST", "/v1/plan", bytes.NewReader(body))
+	w := httptest.NewRecorder()
+	srv.Handler().ServeHTTP(w, req)
+	if w.Code != 200 {
+		b.Fatalf("POST /v1/plan: %d: %s", w.Code, w.Body.String())
+	}
+	return w
+}
+
+// steadyWireSnapshot converts the steady synthetic snapshot (see
+// bench_test.go) to its wire form at the given arrival rate.
+func steadyWireSnapshot(b *testing.B, nodes, jobs int, lambda float64) *api.Snapshot {
+	b.Helper()
+	model, err := queueing.NewMG1PS(1350, 4500)
+	if err != nil {
+		b.Fatal(err)
+	}
+	st := steadySyntheticState(nodes, jobs, model)
+	st.Apps[0].Lambda = lambda
+	snap, err := api.FromCoreState(st)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return snap
+}
+
+// BenchmarkServePlan measures one planning request through the HTTP
+// handler at the 500-node / 5000-job steady shape:
+//
+//	cold          a fresh session every request (new server): full
+//	              snapshot decode + plan + full reply.
+//	steadyFull    one long-lived session, drifting demand, full
+//	              snapshot in and full plan out — session reuse pays
+//	              for planning but the wire still ships everything.
+//	steadyDelta   the protocol's fast path under demand drift: a
+//	              SnapshotDelta patching one app and a delta reply —
+//	              the carry-over tier plus incremental wire traffic.
+//	steadyReplay  a re-plan with no drift at all (an empty delta):
+//	              the session's replay tier answers from cache —
+//	              planning cost that only a surviving session can
+//	              avoid (retries, sub-cycle re-queries, multiple
+//	              consumers of the same cycle).
+func BenchmarkServePlan(b *testing.B) {
+	const nodes, jobs = 500, 5000
+
+	b.Run(fmt.Sprintf("cold/nodes=%d/jobs=%d", nodes, jobs), func(b *testing.B) {
+		body := servePlanBody(b, steadyWireSnapshot(b, nodes, jobs, 65), "")
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			srv := serve.New(serve.Options{})
+			doPlan(b, srv, body)
+		}
+	})
+
+	b.Run(fmt.Sprintf("steadyFull/nodes=%d/jobs=%d", nodes, jobs), func(b *testing.B) {
+		// Pre-encode drifting-demand bodies; a fresh demand level every
+		// request keeps the session on the carry-over tier (genuine
+		// re-plans, never exact-snapshot replays).
+		const variants = 50
+		bodies := make([][]byte, variants)
+		for i := range bodies {
+			bodies[i] = servePlanBody(b, steadyWireSnapshot(b, nodes, jobs, 65+0.1*float64(i+1)), "")
+		}
+		srv := serve.New(serve.Options{})
+		doPlan(b, srv, servePlanBody(b, steadyWireSnapshot(b, nodes, jobs, 65), ""))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			doPlan(b, srv, bodies[i%variants])
+		}
+	})
+
+	b.Run(fmt.Sprintf("steadyDelta/nodes=%d/jobs=%d", nodes, jobs), func(b *testing.B) {
+		srv := serve.New(serve.Options{})
+		warm := steadyWireSnapshot(b, nodes, jobs, 65)
+		doPlan(b, srv, servePlanBody(b, warm, ""))
+		cycle := 1
+		app := warm.Apps[0]
+		var buf bytes.Buffer
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			app.Lambda = 65 + 0.1*float64(i%50+1)
+			buf.Reset()
+			err := api.EncodePlanRequest(&buf, &api.PlanRequest{
+				ClusterID: "bench",
+				Delta: &api.SnapshotDelta{
+					BaseCycle:  cycle,
+					Now:        warm.Now,
+					UpsertApps: []api.App{app},
+				},
+				Reply: api.ReplyDelta,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			doPlan(b, srv, buf.Bytes())
+			cycle++
+		}
+	})
+
+	b.Run(fmt.Sprintf("steadyReplay/nodes=%d/jobs=%d", nodes, jobs), func(b *testing.B) {
+		srv := serve.New(serve.Options{})
+		warm := steadyWireSnapshot(b, nodes, jobs, 65)
+		doPlan(b, srv, servePlanBody(b, warm, ""))
+		cycle := 1
+		var buf bytes.Buffer
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			buf.Reset()
+			err := api.EncodePlanRequest(&buf, &api.PlanRequest{
+				ClusterID: "bench",
+				Delta:     &api.SnapshotDelta{BaseCycle: cycle, Now: warm.Now},
+				Reply:     api.ReplyDelta,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			doPlan(b, srv, buf.Bytes())
+			cycle++
+		}
+	})
+}
+
+// TestServePlanSessionReuse pins the serving mode's headline
+// guarantee: the controller's incremental tiers survive across HTTP
+// requests. A steady-state request answered from the session's replay
+// tier must be at least 3x faster end to end (decode + plan + encode)
+// than a cold-session request for the same cluster shape; the
+// carry-over tier's drift re-plan ratio is logged alongside.
+func TestServePlanSessionReuse(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing test")
+	}
+	if raceEnabled {
+		t.Skip("timing test; race instrumentation skews the ratio")
+	}
+	const nodes, jobs = 500, 5000
+	const rounds = 5
+	model, err := queueing.NewMG1PS(1350, 4500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := steadySyntheticState(nodes, jobs, model)
+	snap, err := api.FromCoreState(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var full bytes.Buffer
+	if err := api.EncodePlanRequest(&full, &api.PlanRequest{ClusterID: "c", Snapshot: snap}); err != nil {
+		t.Fatal(err)
+	}
+
+	do := func(srv *serve.Server, body []byte) int {
+		req := httptest.NewRequest("POST", "/v1/plan", bytes.NewReader(body))
+		w := httptest.NewRecorder()
+		srv.Handler().ServeHTTP(w, req)
+		return w.Code
+	}
+
+	// Cold: a brand-new session every round.
+	coldBest := time.Duration(math.MaxInt64)
+	for i := 0; i < rounds; i++ {
+		srv := serve.New(serve.Options{})
+		start := time.Now()
+		if code := do(srv, full.Bytes()); code != 200 {
+			t.Fatalf("cold request: %d", code)
+		}
+		if d := time.Since(start); d < coldBest {
+			coldBest = d
+		}
+	}
+
+	// Warm session: drifting-demand deltas (carry-over tier), then
+	// no-drift re-plans (replay tier).
+	srv := serve.New(serve.Options{})
+	if code := do(srv, full.Bytes()); code != 200 {
+		t.Fatal("warm-up request failed")
+	}
+	cycle := 1
+	app := snap.Apps[0]
+	steadyDelta := func(i int, drift bool) time.Duration {
+		d := &api.SnapshotDelta{BaseCycle: cycle, Now: snap.Now}
+		if drift {
+			app.Lambda = 65 + 0.1*float64(i+1)
+			d.UpsertApps = []api.App{app}
+		}
+		var buf bytes.Buffer
+		err := api.EncodePlanRequest(&buf, &api.PlanRequest{
+			ClusterID: "c", Delta: d, Reply: api.ReplyDelta,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		start := time.Now()
+		if code := do(srv, buf.Bytes()); code != 200 {
+			t.Fatalf("steady request %d failed", i)
+		}
+		cycle++
+		return time.Since(start)
+	}
+	driftBest := time.Duration(math.MaxInt64)
+	for i := 0; i < rounds; i++ {
+		if d := steadyDelta(i, true); d < driftBest {
+			driftBest = d
+		}
+	}
+	replayBest := time.Duration(math.MaxInt64)
+	for i := 0; i < rounds; i++ {
+		if d := steadyDelta(i, false); d < replayBest {
+			replayBest = d
+		}
+	}
+
+	ratio := float64(coldBest) / float64(replayBest)
+	t.Logf("cold-session %v vs steady replay %v (%.1fx) vs steady drift %v (%.1fx)",
+		coldBest, replayBest, ratio, driftBest, float64(coldBest)/float64(driftBest))
+	if ratio < 3 {
+		t.Errorf("steady serve request only %.2fx faster than cold-session (want >= 3x)", ratio)
+	}
+
+	// Reuse must have stayed on the incremental tiers throughout: ask
+	// the running session via /v1/stats. (The warm-up plan itself takes
+	// the carry-over tier — its steadiness proofs are snapshot-only.)
+	req := httptest.NewRequest("GET", "/v1/stats", nil)
+	w := httptest.NewRecorder()
+	srv.Handler().ServeHTTP(w, req)
+	if w.Code != 200 {
+		t.Fatalf("stats: %d", w.Code)
+	}
+	var stats api.StatsResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &stats); err != nil {
+		t.Fatal(err)
+	}
+	if len(stats.Sessions) != 1 || stats.Sessions[0].Stats == nil {
+		t.Fatalf("stats: %+v", stats)
+	}
+	got := stats.Sessions[0].Stats
+	if got.Full != 0 || got.Incremental != rounds+1 || got.Replayed != rounds {
+		t.Errorf("session left the incremental tiers: %+v", got)
+	}
+}

@@ -33,9 +33,23 @@
 //
 //	result, _ := slaplace.Run(slaplace.PaperScenario(42))
 //	_ = result.Recorder.WriteWideCSV(w, slaplace.Fig1Series)
+//
+// Beyond batch simulation, the controller is consumable as an online
+// decision service. A Session owns a controller across calls — its
+// incremental re-planning state survives from one snapshot to the
+// next — and speaks the versioned wire schema of package slaplace/api:
+//
+//	sess := slaplace.NewSession(slaplace.DefaultControllerConfig())
+//	plan, stats, err := sess.Propose(snapshot) // *api.Snapshot
+//	actions := plan.Diff(prevPlan)             // typed delta to enact
+//
+// cmd/slaplace-serve exposes the same sessions over HTTP, multiplexed
+// by cluster ID (see the README's "Serving mode").
 package slaplace
 
 import (
+	"io"
+
 	"slaplace/internal/baseline"
 	"slaplace/internal/control"
 	"slaplace/internal/core"
@@ -119,7 +133,52 @@ type (
 	Controller = core.Controller
 	// ControllerConfig tunes the utility-driven placement controller.
 	ControllerConfig = core.Config
+	// PlanStats reports how a controller's plans were produced (full /
+	// incremental carry-over / replayed) and the demand drift the last
+	// cycle observed.
+	PlanStats = core.PlanStats
+	// PlanMode is one plan-production mode.
+	PlanMode = core.PlanMode
+	// Session is a long-lived planning conversation with a controller:
+	// incremental re-planning state survives across Propose calls. See
+	// NewSession and package slaplace/api for the wire types.
+	Session = control.Session
 )
+
+// Plan-production modes, in increasing order of reuse.
+const (
+	// PlanFull is a from-scratch run of every pipeline phase.
+	PlanFull = core.PlanFull
+	// PlanIncremental carried the previous placement over wholesale.
+	PlanIncremental = core.PlanIncremental
+	// PlanReplayed returned the cached plan for an identical snapshot.
+	PlanReplayed = core.PlanReplayed
+)
+
+// Recorder series names for the controller-side plan-reuse stats the
+// control loop records each cycle (PlanStats as time series).
+const (
+	// SeriesPlanMode records each cycle's PlanMode as a float.
+	SeriesPlanMode = control.SeriesPlanMode
+	// SeriesDemandDelta records each cycle's demand drift in MHz.
+	SeriesDemandDelta = control.SeriesDemandDelta
+)
+
+// NewSession opens a planning session over a fresh utility-driven
+// placement controller with the given configuration.
+func NewSession(cfg ControllerConfig) *Session {
+	sess, err := control.NewSession(core.New(cfg))
+	if err != nil {
+		panic(err) // unreachable: the controller is never nil
+	}
+	return sess
+}
+
+// NewSessionFor opens a planning session over any controller (e.g. a
+// baseline policy).
+func NewSessionFor(ctrl Controller) (*Session, error) {
+	return control.NewSession(ctrl)
+}
 
 // NewController builds the paper's utility-driven placement controller.
 func NewController(cfg ControllerConfig) Controller { return core.New(cfg) }
@@ -180,7 +239,7 @@ type (
 )
 
 // WriteJobOutcomes exports per-job results as CSV.
-func WriteJobOutcomes(w Writer, outcomes []JobOutcome) error {
+func WriteJobOutcomes(w io.Writer, outcomes []JobOutcome) error {
 	return experiments.WriteJobOutcomes(w, outcomes)
 }
 
@@ -259,11 +318,6 @@ var (
 )
 
 // RenderASCII draws series as an ASCII chart (terminal figures).
-func RenderASCII(w Writer, title string, series []*Series, width, height int) error {
+func RenderASCII(w io.Writer, title string, series []*Series, width, height int) error {
 	return metrics.RenderASCII(w, title, series, width, height)
-}
-
-// Writer is the io.Writer alias used by RenderASCII.
-type Writer = interface {
-	Write(p []byte) (n int, err error)
 }

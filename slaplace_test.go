@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"slaplace"
+	"slaplace/api"
 )
 
 func TestFacadeQuickRun(t *testing.T) {
@@ -82,6 +83,65 @@ func TestFacadeBaselines(t *testing.T) {
 		if ctrl.Name() == "" {
 			t.Errorf("%T: empty name", ctrl)
 		}
+	}
+}
+
+// TestFacadeSession: the session-based control API surfaced through
+// the facade — Propose against a wire snapshot, plan-mode constants,
+// and the re-exported plan-reuse series recorded by simulated runs.
+func TestFacadeSession(t *testing.T) {
+	snap := &api.Snapshot{
+		SchemaVersion: api.SchemaVersion,
+		Now:           600,
+		Nodes: []api.Node{
+			{ID: "n1", CPUMHz: 18000, MemMB: 16000},
+			{ID: "n2", CPUMHz: 18000, MemMB: 16000},
+		},
+		Jobs: []api.Job{{
+			ID: "j1", State: api.JobPending,
+			RemainingMHzs: 4500 * 600, MaxSpeedMHz: 4500, MemMB: 4096,
+			GoalSec: 3000, SubmittedSec: 0,
+		}},
+	}
+	sess := slaplace.NewSession(slaplace.DefaultControllerConfig())
+	plan, stats, err := sess.Propose(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Actions) == 0 {
+		t.Error("session planned no actions for a placeable job")
+	}
+	if stats.LastMode != slaplace.PlanFull && stats.LastMode != slaplace.PlanIncremental {
+		t.Errorf("first plan mode %v", stats.LastMode)
+	}
+	// The same snapshot replays from cache.
+	if _, stats, err = sess.Propose(snap); err != nil || stats.LastMode != slaplace.PlanReplayed {
+		t.Errorf("replay: mode %v err %v", stats.LastMode, err)
+	}
+	if d := plan.Diff(plan); len(d) != 0 {
+		t.Errorf("self-diff: %v", d)
+	}
+
+	// Baseline controllers host sessions too.
+	if _, err := slaplace.NewSessionFor(slaplace.FCFS); err != nil {
+		t.Errorf("NewSessionFor(FCFS): %v", err)
+	}
+
+	// Simulated runs record the re-exported plan-reuse series and
+	// report cumulative PlanStats.
+	r, err := slaplace.Run(slaplace.QuickScenario(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{slaplace.SeriesPlanMode, slaplace.SeriesDemandDelta} {
+		if !r.Recorder.Has(name) {
+			t.Errorf("series %q not recorded", name)
+		}
+	}
+	var total slaplace.PlanStats
+	total = r.PlanStats
+	if total.Full+total.Incremental+total.Replayed != r.Cycles {
+		t.Errorf("plan stats %+v do not sum to %d cycles", total, r.Cycles)
 	}
 }
 
