@@ -230,7 +230,17 @@ type PlanRequest struct {
 	// whole plan; "delta" omits it and returns only the typed action
 	// delta against the session's previous plan plus diagnostics.
 	Reply string `json:"reply,omitempty"`
+	// Shards hints how many partitions the cluster's session should
+	// plan concurrently (sharded planning for very large clusters).
+	// It only takes effect on the request that creates the session;
+	// 0 or 1 means unsharded. Bounded by MaxShards.
+	Shards int `json:"shards,omitempty"`
 }
+
+// MaxShards bounds the PlanRequest.Shards hint (a shard needs at least
+// a handful of nodes to be worth planning separately; values beyond
+// this are certainly client bugs).
+const MaxShards = 4096
 
 // Reply values for PlanRequest.
 const (
@@ -288,10 +298,13 @@ type StatsResponse struct {
 
 // SessionStats summarizes one hosted session.
 type SessionStats struct {
-	ClusterID  string     `json:"clusterId"`
-	Controller string     `json:"controller"`
-	Cycles     int        `json:"cycles"`
-	Stats      *PlanStats `json:"stats,omitempty"`
+	ClusterID  string `json:"clusterId"`
+	Controller string `json:"controller"`
+	Cycles     int    `json:"cycles"`
+	// Shards is the session's partition count when it plans sharded
+	// (omitted for unsharded sessions).
+	Shards int        `json:"shards,omitempty"`
+	Stats  *PlanStats `json:"stats,omitempty"`
 }
 
 // HealthResponse is the body of GET /v1/healthz.

@@ -146,6 +146,9 @@ func DecodePlanRequest(r io.Reader) (*PlanRequest, error) {
 	default:
 		return nil, fmt.Errorf("api: unknown reply mode %q", req.Reply)
 	}
+	if req.Shards < 0 || req.Shards > MaxShards {
+		return nil, fmt.Errorf("api: shards %d outside [0, %d]", req.Shards, MaxShards)
+	}
 	return &req, nil
 }
 

@@ -1,0 +1,156 @@
+package api
+
+import (
+	"reflect"
+	"testing"
+)
+
+// Table-driven edge cases for Plan.Diff, pinning the documented
+// freeing-first ordering contract: suspends and instance removals
+// first, then placements, then share retunes — in the placements'
+// sorted-ID order within each group.
+func TestDiffEdgeCases(t *testing.T) {
+	full := Placement{
+		Jobs: []JobPlacement{
+			{ID: "j1", State: JobRunning, Node: "n1", ShareMHz: 100},
+			{ID: "j2", State: JobRunning, Node: "n2", ShareMHz: 200},
+			{ID: "j3", State: JobPending},
+		},
+		Apps: []AppPlacement{
+			{ID: "web", Instances: []Instance{{Node: "n1", ShareMHz: 10}, {Node: "n2", ShareMHz: 20}}},
+		},
+	}
+	cases := []struct {
+		name       string
+		prev, next *Plan
+		want       []Action
+	}{
+		{
+			name: "empty-to-full",
+			prev: &Plan{},
+			next: &Plan{Placement: full},
+			want: []Action{
+				{Type: ActionStartJob, Job: "j1", Node: "n1", ShareMHz: 100},
+				{Type: ActionStartJob, Job: "j2", Node: "n2", ShareMHz: 200},
+				{Type: ActionAddInstance, App: "web", Node: "n1", ShareMHz: 10},
+				{Type: ActionAddInstance, App: "web", Node: "n2", ShareMHz: 20},
+			},
+		},
+		{
+			name: "full-to-empty",
+			prev: &Plan{Placement: full},
+			next: &Plan{Placement: Placement{
+				// The jobs still exist but stop running; the app is gone
+				// entirely (undeployed), so its instances are freed.
+				Jobs: []JobPlacement{
+					{ID: "j1", State: JobSuspended},
+					{ID: "j2", State: JobSuspended},
+					{ID: "j3", State: JobPending},
+				},
+			}},
+			want: []Action{
+				{Type: ActionSuspendJob, Job: "j1"},
+				{Type: ActionSuspendJob, Job: "j2"},
+				{Type: ActionRemoveInstance, App: "web", Node: "n1"},
+				{Type: ActionRemoveInstance, App: "web", Node: "n2"},
+			},
+		},
+		{
+			name: "same-app-migrate-and-set-share",
+			// One cycle moves a job between the app's two hosting nodes
+			// AND retunes the app's surviving instance: the migration is
+			// a placement, the retune a share change, so the migration
+			// must come first even though the app row sorts earlier.
+			prev: &Plan{Placement: Placement{
+				Jobs: []JobPlacement{{ID: "j1", State: JobRunning, Node: "n1", ShareMHz: 100}},
+				Apps: []AppPlacement{
+					{ID: "web", Instances: []Instance{{Node: "n1", ShareMHz: 10}, {Node: "n2", ShareMHz: 20}}},
+				},
+			}},
+			next: &Plan{Placement: Placement{
+				Jobs: []JobPlacement{{ID: "j1", State: JobRunning, Node: "n2", ShareMHz: 150}},
+				Apps: []AppPlacement{
+					{ID: "web", Instances: []Instance{{Node: "n1", ShareMHz: 30}, {Node: "n2", ShareMHz: 20}}},
+				},
+			}},
+			want: []Action{
+				{Type: ActionMigrateJob, Job: "j1", Node: "n2", ShareMHz: 150},
+				{Type: ActionSetInstanceShare, App: "web", Node: "n1", ShareMHz: 30},
+			},
+		},
+		{
+			name: "suspend-then-resume-round-trip-first-leg",
+			prev: &Plan{Placement: Placement{
+				Jobs: []JobPlacement{{ID: "j1", State: JobRunning, Node: "n1", ShareMHz: 100}},
+			}},
+			next: &Plan{Placement: Placement{
+				Jobs: []JobPlacement{{ID: "j1", State: JobSuspended}},
+			}},
+			want: []Action{{Type: ActionSuspendJob, Job: "j1"}},
+		},
+		{
+			name: "suspend-then-resume-round-trip-second-leg",
+			prev: &Plan{Placement: Placement{
+				Jobs: []JobPlacement{{ID: "j1", State: JobSuspended}},
+			}},
+			next: &Plan{Placement: Placement{
+				// Resumed elsewhere at a new share: one resume action,
+				// not a migrate or a share retune.
+				Jobs: []JobPlacement{{ID: "j1", State: JobRunning, Node: "n2", ShareMHz: 70}},
+			}},
+			want: []Action{{Type: ActionResumeJob, Job: "j1", Node: "n2", ShareMHz: 70}},
+		},
+		{
+			name: "pending-job-never-acts",
+			prev: &Plan{Placement: Placement{
+				Jobs: []JobPlacement{{ID: "j1", State: JobPending}},
+			}},
+			next: &Plan{Placement: Placement{
+				Jobs: []JobPlacement{{ID: "j1", State: JobPending}},
+			}},
+			want: []Action{},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := tc.next.Diff(tc.prev)
+			if len(got) == 0 && len(tc.want) == 0 {
+				return
+			}
+			if !reflect.DeepEqual(got, tc.want) {
+				t.Errorf("diff:\n got %+v\nwant %+v", got, tc.want)
+			}
+			// The ordering contract, independent of the exact expectation:
+			// no freeing action may follow a placement or share change.
+			phase := 0 // 0 frees, 1 places, 2 shares
+			for _, a := range got {
+				var p int
+				switch a.Type {
+				case ActionSuspendJob, ActionRemoveInstance:
+					p = 0
+				case ActionStartJob, ActionResumeJob, ActionMigrateJob, ActionAddInstance:
+					p = 1
+				default:
+					p = 2
+				}
+				if p < phase {
+					t.Errorf("action %+v out of freeing-first order", a)
+				}
+				phase = p
+			}
+		})
+	}
+
+	// Round trip composed: suspending then resuming lands back on a
+	// placement whose diff against the origin is pure share drift (or
+	// nothing when the share also returns).
+	origin := &Plan{Placement: Placement{
+		Jobs: []JobPlacement{{ID: "j1", State: JobRunning, Node: "n1", ShareMHz: 100}},
+	}}
+	back := &Plan{Placement: Placement{
+		Jobs: []JobPlacement{{ID: "j1", State: JobRunning, Node: "n1", ShareMHz: 100}},
+	}}
+	if d := back.Diff(origin); len(d) != 0 {
+		t.Errorf("suspend/resume round trip back to the identical placement diffs to %+v", d)
+	}
+}

@@ -170,7 +170,7 @@ func compare(baseline, fresh map[string]float64, tolerance float64) []regression
 
 func main() {
 	var (
-		bench = flag.String("bench", "BenchmarkPlacementScale|BenchmarkServePlan", "benchmark regex to run")
+		bench = flag.String("bench", "BenchmarkPlacementScale|BenchmarkServePlan|BenchmarkShardedPlacement", "benchmark regex to run")
 		pkg   = flag.String("pkg", ".", "package pattern holding the benchmarks")
 		// Time-based so micro-shapes get hundreds of iterations (stable
 		// medians) while the 2000-node shape still runs just once or

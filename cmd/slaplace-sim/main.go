@@ -13,6 +13,8 @@
 //	-controller name utility | fcfs | edf | fairshare | static
 //	                 (default "utility"; overrides the scenario's choice)
 //	-static-frac f   batch node fraction for the static controller
+//	-shards k        plan the cluster as k concurrent shards (default 1;
+//	                 "utility" shards use the default configuration)
 //	-seed n          RNG seed (default 42)
 //	-replicas r      run r replicas with seeds seed..seed+r-1 (the
 //	                 export flags below cover the first replica only)
@@ -42,6 +44,7 @@ func main() {
 		jobTrace     = flag.String("job-trace", "", "replay a CSV job trace")
 		ctrlName     = flag.String("controller", "utility", "placement controller")
 		staticFrac   = flag.Float64("static-frac", 0.6, "batch fraction for -controller static")
+		shards       = flag.Int("shards", 1, "plan the cluster as this many concurrent shards (1 = unsharded)")
 		seed         = flag.Uint64("seed", 42, "RNG seed")
 		replicas     = flag.Int("replicas", 1, "replica count (seeds seed..seed+r-1)")
 		parallel     = flag.Int("parallel", runtime.NumCPU(), "worker count for replicas")
@@ -92,6 +95,21 @@ func main() {
 	} else if ctrl != nil {
 		sc.Controller = ctrl
 	}
+	if *shards < 1 {
+		fmt.Fprintln(os.Stderr, "slaplace-sim: -shards must be >= 1")
+		os.Exit(2)
+	}
+	if *shards > 1 && *configPath != "" {
+		// A config file's controller may carry tuning this flag cannot
+		// rebuild per shard; the config format has its own knob.
+		fmt.Fprintln(os.Stderr, `slaplace-sim: -shards does not apply to -config scenarios; set "controller": {"shards": K} in the config file`)
+		os.Exit(2)
+	}
+	if *shards > 1 {
+		// Each shard needs its own controller instance; rebuild by name
+		// ("utility" selects the scenario's utility configuration).
+		sc.Controller = slaplace.Sharded(*shards, shardFactory(*scenarioName, *ctrlName, *staticFrac))
+	}
 	if *horizon > 0 {
 		sc.Horizon = *horizon
 	}
@@ -121,6 +139,9 @@ func main() {
 		// that workers share no state.
 		if ctrl, err := buildController(*ctrlName, *staticFrac); err == nil && ctrl != nil {
 			replica.Controller = ctrl
+		}
+		if *shards > 1 {
+			replica.Controller = slaplace.Sharded(*shards, shardFactory(*scenarioName, *ctrlName, *staticFrac))
 		}
 		if *horizon > 0 {
 			replica.Horizon = *horizon
@@ -211,6 +232,28 @@ func buildScenario(name string, seed uint64) (slaplace.Scenario, error) {
 		return slaplace.QuickScenario(seed), nil
 	default:
 		return slaplace.Scenario{}, fmt.Errorf("unknown scenario %q", name)
+	}
+}
+
+// shardFactory builds fresh per-shard controllers by name — sharded
+// planning cannot reuse a scenario's single controller instance.
+// "utility" rebuilds the scenario's own utility configuration (the
+// churn-oblivious scenario is the one canned scenario that tunes it),
+// so sharding never silently changes the policy under test.
+func shardFactory(scenario, name string, staticFrac float64) func() slaplace.Controller {
+	return func() slaplace.Controller {
+		ctrl, err := buildController(name, staticFrac)
+		if err != nil {
+			panic(err) // unreachable: validated before the first build
+		}
+		if ctrl == nil {
+			cfg := slaplace.DefaultControllerConfig()
+			if scenario == "churn-oblivious" {
+				cfg.ChurnAware = false
+			}
+			ctrl = slaplace.NewController(cfg)
+		}
+		return ctrl
 	}
 }
 

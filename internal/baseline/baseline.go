@@ -124,11 +124,13 @@ func reserveWeb(st *core.State, plan *core.Plan, ledgers *core.Ledgers) {
 // at full speed on the emptiest feasible node of the subset. Running
 // jobs on nodes of the subset are kept. Returns each job's granted
 // share. If preempt is non-nil it may suspend running jobs to make
-// room (EDF); preempt receives the candidate and must return a victim
-// job ID or "".
+// room (EDF); preempt receives the candidate plus the set of jobs
+// already suspended this pass — it must never return one of those
+// (re-suspending would release the victim's memory twice and overcommit
+// its node) — and returns a victim job ID or "".
 func placeFullSpeed(st *core.State, plan *core.Plan, ledgers *core.Ledgers,
 	jobOrder []*core.JobInfo,
-	preempt func(cand *core.JobInfo, after []*core.JobInfo) batch.JobID) map[batch.JobID]res.CPU {
+	preempt func(cand *core.JobInfo, after []*core.JobInfo, suspended map[batch.JobID]bool) batch.JobID) map[batch.JobID]res.CPU {
 
 	order := ledgers.Order()
 	shares := make(map[batch.JobID]res.CPU, len(jobOrder))
@@ -163,7 +165,7 @@ func placeFullSpeed(st *core.State, plan *core.Plan, ledgers *core.Ledgers,
 			}
 		}
 		if best == "" && preempt != nil {
-			victim := preempt(j, jobOrder[idx+1:])
+			victim := preempt(j, jobOrder[idx+1:], suspended)
 			if victim != "" {
 				for _, v := range jobOrder {
 					if v.ID == victim {

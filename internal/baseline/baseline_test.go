@@ -261,3 +261,54 @@ func TestBaselineKeepsRunningJobs(t *testing.T) {
 		}
 	}
 }
+
+// TestEDFNeverSuspendsSameVictimTwice is a regression test: when two
+// memory-starved candidates in a row asked for a preemption, the EDF
+// victim scan used to return the same running job twice (it checked
+// the snapshot state, not the pass's suspension set). The second
+// suspend released the victim's memory again, so the books went
+// negative and the node was overcommitted. One victim must be
+// suspended exactly once, and a candidate that cannot be helped waits.
+func TestEDFNeverSuspendsSameVictimTwice(t *testing.T) {
+	st := &core.State{Now: 1000, Nodes: nodes(1)}
+	st.Jobs = []core.JobInfo{
+		// Two early-deadline residents that are never victims.
+		job("r1", batch.Running, "a", 4500, 0, 5000),
+		job("r2", batch.Running, "a", 4500, 1, 6000),
+		// The only eligible victim: latest deadline by far.
+		job("v", batch.Running, "a", 4500, 2, 99000),
+		// Two starved pending jobs; each wants a preemption.
+		job("p1", batch.Pending, "", 0, 3, 20000),
+		job("p2", batch.Pending, "", 0, 4, 21000),
+	}
+	plan := EDF{}.Plan(st)
+
+	suspends := map[batch.JobID]int{}
+	starts := 0
+	for _, act := range plan.Actions {
+		switch a := act.(type) {
+		case core.SuspendJob:
+			suspends[a.Job]++
+		case core.StartJob:
+			starts++
+		}
+	}
+	if suspends["v"] != 1 || len(suspends) != 1 {
+		t.Errorf("suspends = %v, want exactly one suspend of v", suspends)
+	}
+	if starts != 1 {
+		t.Errorf("%d starts, want 1 (only one preemption's worth of memory exists)", starts)
+	}
+	// Replaying the plan must not overcommit the node: 3 residents
+	// minus one victim plus one start is 15 GB of 16 GB.
+	var mem res.Memory
+	placed := collectJobNodes(st, plan)
+	for _, j := range st.Jobs {
+		if placed[j.ID] == "a" {
+			mem += j.Mem
+		}
+	}
+	if mem > st.Nodes[0].Mem {
+		t.Errorf("node overcommitted: %v > %v", mem, st.Nodes[0].Mem)
+	}
+}

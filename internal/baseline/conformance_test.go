@@ -9,6 +9,7 @@ import (
 	"slaplace/internal/core"
 	"slaplace/internal/queueing"
 	"slaplace/internal/res"
+	"slaplace/internal/shard"
 	"slaplace/internal/workload/batch"
 	"slaplace/internal/workload/trans"
 )
@@ -27,15 +28,25 @@ import (
 //  3. actions never reference unknown jobs, nodes or applications,
 //  4. identical states yield identical plans (determinism).
 
-// conformers returns every controller under test.
+// conformers returns every controller under test: the five policies
+// plus a K=3 sharded wrapper of each — merged multi-shard plans must
+// satisfy the exact same invariants as single-planner plans.
 func conformers() []core.Controller {
-	return []core.Controller{
-		core.New(core.DefaultConfig()),
-		baseline.FCFS{},
-		baseline.EDF{},
-		baseline.FairShare{},
-		baseline.Static{BatchFraction: 0.6},
+	base := []func() core.Controller{
+		func() core.Controller { return core.New(core.DefaultConfig()) },
+		func() core.Controller { return baseline.FCFS{} },
+		func() core.Controller { return baseline.EDF{} },
+		func() core.Controller { return baseline.FairShare{} },
+		func() core.Controller { return baseline.Static{BatchFraction: 0.6} },
 	}
+	out := make([]core.Controller, 0, 2*len(base))
+	for _, newCtrl := range base {
+		out = append(out, newCtrl())
+	}
+	for _, newCtrl := range base {
+		out = append(out, shard.New(shard.Config{Shards: 3, NewController: newCtrl}))
+	}
+	return out
 }
 
 // mg1 builds the standard test queueing model.

@@ -102,11 +102,12 @@ func (EDF) Plan(st *core.State) *core.Plan {
 		}
 		return jobs[a].ID < jobs[b].ID
 	})
-	preempt := func(cand *core.JobInfo, after []*core.JobInfo) batch.JobID {
-		// Latest-deadline running job strictly after the candidate.
+	preempt := func(cand *core.JobInfo, after []*core.JobInfo, suspended map[batch.JobID]bool) batch.JobID {
+		// Latest-deadline running job strictly after the candidate that
+		// has not already been suspended this pass.
 		for i := len(after) - 1; i >= 0; i-- {
 			v := after[i]
-			if v.State == batch.Running && v.Goal > cand.Goal {
+			if v.State == batch.Running && !suspended[v.ID] && v.Goal > cand.Goal {
 				if _, ok := ledgers.Get(v.Node); ok {
 					return v.ID
 				}

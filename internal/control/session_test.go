@@ -1,6 +1,8 @@
 package control
 
 import (
+	"bytes"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"testing"
@@ -10,6 +12,7 @@ import (
 	"slaplace/internal/core"
 	"slaplace/internal/queueing"
 	"slaplace/internal/res"
+	"slaplace/internal/shard"
 	"slaplace/internal/workload/batch"
 )
 
@@ -263,4 +266,76 @@ func (fcfsLike) Plan(st *core.State) *core.Plan {
 	}
 	core.RecordJobUtility(st, plan, shares)
 	return plan
+}
+
+// TestSessionShardedController: a Session owns a sharded controller
+// behind the unchanged Propose API. K=1 must be byte-identical to a
+// plain session; K>1 must plan deterministically, report aggregated
+// reuse stats, and keep its incremental tiers across wire cycles.
+func TestSessionShardedController(t *testing.T) {
+	st := steadyState(t, 6, 16)
+	snap, err := api.FromCoreState(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	newUtility := func() core.Controller { return core.New(core.DefaultConfig()) }
+
+	// K=1: identical wire plans to an unsharded session, cycle for cycle.
+	one, err := NewSession(shard.New(shard.Config{Shards: 1, NewController: newUtility}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := NewSession(newUtility())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cycle := 0; cycle < 3; cycle++ {
+		got, _, err := one.Propose(snap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _, err := plain.Propose(snap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, _ := json.Marshal(got)
+		b, _ := json.Marshal(want)
+		if !bytes.Equal(a, b) {
+			t.Fatalf("cycle %d: K=1 sharded session plan differs from plain session", cycle)
+		}
+	}
+
+	// K=3: deterministic across sessions, stats aggregate, replay fires.
+	mk := func() *Session {
+		s, err := NewSession(shard.New(shard.Config{Shards: 3, NewController: newUtility}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	s1, s2 := mk(), mk()
+	if !s1.TracksStats() {
+		t.Error("sharded session does not report plan stats")
+	}
+	for cycle := 0; cycle < 2; cycle++ {
+		p1, stats, err := s1.Propose(snap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p2, _, err := s2.Propose(snap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, _ := json.Marshal(p1)
+		b, _ := json.Marshal(p2)
+		if !bytes.Equal(a, b) {
+			t.Fatalf("cycle %d: sharded sessions disagree", cycle)
+		}
+		if cycle == 1 && stats.Replayed == 0 {
+			t.Errorf("identical re-propose did not replay on any shard: %+v", stats)
+		}
+	}
+	if s1.Cycles() != 2 {
+		t.Errorf("cycles = %d, want 2", s1.Cycles())
+	}
 }

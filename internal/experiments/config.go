@@ -11,6 +11,7 @@ import (
 	"slaplace/internal/core"
 	"slaplace/internal/queueing"
 	"slaplace/internal/res"
+	"slaplace/internal/shard"
 	"slaplace/internal/utility"
 	"slaplace/internal/vm"
 	"slaplace/internal/workload/batch"
@@ -61,6 +62,11 @@ type CostJSON struct {
 type ControllerJSON struct {
 	// Kind: "utility" (default), "fcfs", "edf", "fairshare", "static".
 	Kind string `json:"kind"`
+	// Shards > 1 wraps the controller in a sharded planner: the
+	// cluster is partitioned into that many shards, planned
+	// concurrently by one controller of the selected kind each, and
+	// the plans merged (internal/shard).
+	Shards int `json:"shards"`
 	// BatchFraction configures the static partition controller.
 	BatchFraction float64 `json:"batchFraction"`
 	// Utility-controller knobs; zero values take the defaults.
@@ -230,8 +236,34 @@ func (sj ScenarioJSON) Build() (Scenario, error) {
 	return sc, nil
 }
 
-// Build constructs the selected controller.
+// Build constructs the selected controller, wrapped in a sharded
+// planner when Shards > 1.
 func (cj ControllerJSON) Build() (core.Controller, error) {
+	if cj.Shards < 0 {
+		return nil, fmt.Errorf("experiments: negative controller shards %d", cj.Shards)
+	}
+	if cj.Shards > 1 {
+		inner := cj
+		inner.Shards = 0
+		if _, err := inner.build(); err != nil {
+			return nil, err // surface bad inner config eagerly, not per shard
+		}
+		return shard.New(shard.Config{
+			Shards: cj.Shards,
+			NewController: func() core.Controller {
+				ctrl, err := inner.build()
+				if err != nil {
+					panic(err) // unreachable: validated above
+				}
+				return ctrl
+			},
+		}), nil
+	}
+	return cj.build()
+}
+
+// build constructs the selected controller kind, unsharded.
+func (cj ControllerJSON) build() (core.Controller, error) {
 	switch cj.Kind {
 	case "", "utility":
 		cfg := core.DefaultConfig()

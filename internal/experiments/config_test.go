@@ -204,3 +204,27 @@ func traceRecord(i int) trace.JobRecord {
 		Mem:      5000,
 	}
 }
+
+// TestControllerJSONShards: the scenario config's shards knob wraps
+// the selected kind in a sharded planner; bad values are rejected.
+func TestControllerJSONShards(t *testing.T) {
+	ctrl, err := ControllerJSON{Kind: "edf", Shards: 4}.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := ctrl.Name(), "sharded4(edf)"; got != want {
+		t.Errorf("controller name %q, want %q", got, want)
+	}
+	if ctrl, err = (ControllerJSON{Shards: 1}).Build(); err != nil {
+		t.Fatal(err)
+	}
+	if got := ctrl.Name(); got != "utility-placement" {
+		t.Errorf("shards=1 built %q, want the plain utility controller", got)
+	}
+	if _, err := (ControllerJSON{Shards: -2}).Build(); err == nil {
+		t.Error("negative shards accepted")
+	}
+	if _, err := (ControllerJSON{Kind: "static", Shards: 2}).Build(); err == nil {
+		t.Error("sharded static with invalid batchFraction accepted (inner config not validated)")
+	}
+}

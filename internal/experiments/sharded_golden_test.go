@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"slaplace/internal/baseline"
+	"slaplace/internal/core"
+	"slaplace/internal/shard"
+)
+
+// TestShardedK1MatchesGolden pins the sharding layer's bit-exactness
+// contract: planning through a one-shard sharded controller must
+// reproduce the committed golden plan-sequence digests bit for bit —
+// sharding with K=1 is the identity, for the paper's controller and
+// for every baseline policy.
+func TestShardedK1MatchesGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full golden replays")
+	}
+	data, err := os.ReadFile(filepath.Join("testdata", "golden_plans.json"))
+	if err != nil {
+		t.Fatalf("read golden fixture: %v", err)
+	}
+	golden := map[string]string{}
+	if err := json.Unmarshal(data, &golden); err != nil {
+		t.Fatal(err)
+	}
+
+	shardWrap := func(newCtrl func() core.Controller) core.Controller {
+		return shard.New(shard.Config{Shards: 1, NewController: newCtrl})
+	}
+	cases := map[string]func() core.Controller{
+		"baseline/fcfs":      func() core.Controller { return baseline.FCFS{} },
+		"baseline/edf":       func() core.Controller { return baseline.EDF{} },
+		"baseline/fairshare": func() core.Controller { return baseline.FairShare{} },
+		"baseline/static60":  func() core.Controller { return baseline.Static{BatchFraction: 0.6} },
+		"baseline/utility":   func() core.Controller { return core.New(core.DefaultConfig()) },
+	}
+	for name, newCtrl := range cases {
+		t.Run(strings.ReplaceAll(name, "/", "_"), func(t *testing.T) {
+			sc := BaselineScenario(42, shardWrap(newCtrl))
+			got := runGoldenCase(t, sc)
+			want, ok := golden[name]
+			if !ok {
+				t.Fatalf("case %s missing from golden fixture", name)
+			}
+			if got != want {
+				t.Errorf("K=1 sharded plan-sequence digest %s, want golden %s "+
+					"(one-shard planning must be the identity)", got, want)
+			}
+		})
+	}
+	t.Run("paper_utility", func(t *testing.T) {
+		sc := PaperScenario(42)
+		sc.Controller = shardWrap(func() core.Controller { return core.New(core.DefaultConfig()) })
+		got := runGoldenCase(t, sc)
+		if want := golden["paper/utility"]; got != want {
+			t.Errorf("K=1 sharded paper-scenario digest %s, want golden %s", got, want)
+		}
+	})
+}

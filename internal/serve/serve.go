@@ -17,7 +17,10 @@
 // controller's incremental state across requests — a steady-state
 // cluster pays the carry-over re-plan price, not the from-scratch
 // price, on every cycle. Requests for the same cluster serialize on a
-// per-session lock; distinct clusters plan concurrently.
+// per-session lock; distinct clusters plan concurrently. A plan
+// request may carry a "shards" hint: the session created from it
+// plans the cluster as that many concurrent partitions
+// (internal/shard) — the scale mode for 10k+-node snapshots.
 package serve
 
 import (
@@ -31,6 +34,7 @@ import (
 	"slaplace/api"
 	"slaplace/internal/control"
 	"slaplace/internal/core"
+	"slaplace/internal/shard"
 )
 
 // DefaultMaxBodyBytes bounds a plan request body (64 MiB fits a
@@ -61,9 +65,10 @@ type Server struct {
 // layers on top: the previous wire plan (for response deltas), under a
 // lock that serializes requests for the same cluster.
 type clusterSession struct {
-	mu   sync.Mutex
-	sess *control.Session
-	prev *api.Plan
+	mu     sync.Mutex
+	sess   *control.Session
+	shards int // partition count when planning sharded, else 0
+	prev   *api.Plan
 }
 
 // New builds a server.
@@ -87,7 +92,11 @@ func (s *Server) Handler() http.Handler {
 }
 
 // session returns the cluster's session, creating it on first use.
-func (s *Server) session(clusterID string) (*clusterSession, error) {
+// shards is the request's sharding hint: a session created with
+// shards > 1 plans the cluster as that many concurrent partitions
+// (internal/shard). The hint binds at creation; later requests for
+// the same cluster keep the session's original shape.
+func (s *Server) session(clusterID string, shards int) (*clusterSession, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if cs, ok := s.sessions[clusterID]; ok {
@@ -96,11 +105,18 @@ func (s *Server) session(clusterID string) (*clusterSession, error) {
 	if s.opts.MaxSessions > 0 && len(s.sessions) >= s.opts.MaxSessions {
 		return nil, fmt.Errorf("serve: session limit %d reached", s.opts.MaxSessions)
 	}
-	sess, err := control.NewSession(s.opts.NewController())
+	var ctrl core.Controller
+	if shards > 1 {
+		ctrl = shard.New(shard.Config{Shards: shards, NewController: s.opts.NewController})
+	} else {
+		ctrl = s.opts.NewController()
+		shards = 0
+	}
+	sess, err := control.NewSession(ctrl)
 	if err != nil {
 		return nil, err
 	}
-	cs := &clusterSession{sess: sess}
+	cs := &clusterSession{sess: sess, shards: shards}
 	s.sessions[clusterID] = cs
 	return cs, nil
 }
@@ -140,7 +156,7 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	if clusterID == "" {
 		clusterID = "default"
 	}
-	cs, err := s.session(clusterID)
+	cs, err := s.session(clusterID, req.Shards)
 	if err != nil {
 		httpError(w, http.StatusTooManyRequests, err)
 		return
@@ -225,6 +241,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			ClusterID:  id,
 			Controller: cs.sess.Name(),
 			Cycles:     cs.sess.Cycles(),
+			Shards:     cs.shards,
 		}
 		if cs.sess.TracksStats() {
 			ss.Stats = wireStats(cs.sess.PlanStats())

@@ -20,6 +20,7 @@ import (
 	"slaplace/internal/control"
 	"slaplace/internal/core"
 	"slaplace/internal/experiments"
+	"slaplace/internal/shard"
 )
 
 // captureController wraps a controller and converts every snapshot it
@@ -411,5 +412,197 @@ func TestServeConcurrentClusters(t *testing.T) {
 	resp.Body.Close()
 	if code != 200 || health.Sessions != clusters {
 		t.Errorf("after fan-out: %d sessions (status %d), want %d", health.Sessions, code, clusters)
+	}
+}
+
+// TestServeShardsHint: a plan request may carry a shards hint; the
+// session created from it plans the cluster sharded (visible in
+// /v1/stats), byte-identically to an in-process sharded session, and
+// the hint binds at session creation only.
+func TestServeShardsHint(t *testing.T) {
+	snaps := captureSnapshots(t, func() core.Controller { return core.New(core.DefaultConfig()) })
+	srv := New(Options{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	_, gotPlan := postPlan(t, ts.URL, &api.PlanRequest{
+		ClusterID: "big", Snapshot: snaps[0], Shards: 2,
+	})
+	sess, err := control.NewSession(shard.New(shard.Config{Shards: 2}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wirePlan, _, err := sess.Propose(snaps[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := json.Marshal(wirePlan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gotPlan, want) {
+		t.Errorf("sharded serve plan differs from in-process sharded session")
+	}
+
+	// A later request with a different hint keeps the session's shape.
+	postPlan(t, ts.URL, &api.PlanRequest{ClusterID: "big", Snapshot: snaps[0], Shards: 7})
+
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats api.StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if len(stats.Sessions) != 1 {
+		t.Fatalf("sessions: %+v", stats.Sessions)
+	}
+	ss := stats.Sessions[0]
+	if ss.Shards != 2 || !strings.HasPrefix(ss.Controller, "sharded2(") {
+		t.Errorf("session shape: shards=%d controller=%q, want sharded2", ss.Shards, ss.Controller)
+	}
+	if ss.Stats == nil || ss.Stats.Replayed == 0 {
+		t.Errorf("sharded session did not replay the identical snapshot: %+v", ss.Stats)
+	}
+
+	// An out-of-range hint is a 400 at the codec layer.
+	var buf bytes.Buffer
+	if err := api.EncodePlanRequest(&buf, &api.PlanRequest{
+		ClusterID: "bad", Snapshot: snaps[0], Shards: api.MaxShards + 1,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	bad, err := http.Post(ts.URL+"/v1/plan", "application/json", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad.Body.Close()
+	if bad.StatusCode != http.StatusBadRequest {
+		t.Errorf("oversized shards hint: status %d, want 400", bad.StatusCode)
+	}
+}
+
+// TestServeConcurrentSoak hammers /v1/plan from many goroutines across
+// overlapping cluster IDs — run under -race in CI. Each cluster has a
+// distinct snapshot (distinct arrival rate), so any cross-session
+// state bleed surfaces as wrong plan bytes; per-session serialization
+// surfaces as a cycle count that disagrees with the requests served,
+// and the identical-snapshot replay tier must make every response for
+// one cluster byte-identical.
+func TestServeConcurrentSoak(t *testing.T) {
+	base := captureSnapshots(t, func() core.Controller { return core.New(core.DefaultConfig()) })
+	srv := New(Options{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	const clusters = 5
+	const workers = 4
+	const perWorker = 3 // every worker hits every cluster this many times
+
+	// One distinct snapshot and reference plan per cluster. Shard two
+	// of the clusters to soak the concurrent sharded path too.
+	snaps := make([]*api.Snapshot, clusters)
+	want := make([][]byte, clusters)
+	shardsOf := func(c int) int {
+		if c%2 == 1 {
+			return 3
+		}
+		return 0
+	}
+	for c := 0; c < clusters; c++ {
+		snap := *base[0]
+		apps := append([]api.App(nil), snap.Apps...)
+		apps[0].Lambda += float64(c) // distinct plans per cluster
+		snap.Apps = apps
+		snaps[c] = &snap
+		var ctrl core.Controller = core.New(core.DefaultConfig())
+		if k := shardsOf(c); k > 1 {
+			ctrl = shard.New(shard.Config{Shards: k})
+		}
+		sess, err := control.NewSession(ctrl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plan, _, err := sess.Propose(&snap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want[c], err = json.Marshal(plan); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for r := 0; r < perWorker; r++ {
+				for c := 0; c < clusters; c++ {
+					var buf bytes.Buffer
+					err := api.EncodePlanRequest(&buf, &api.PlanRequest{
+						ClusterID: fmt.Sprintf("cluster-%d", c),
+						Snapshot:  snaps[c],
+						Shards:    shardsOf(c),
+					})
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					resp, err := http.Post(ts.URL+"/v1/plan", "application/json", &buf)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					body, err := io.ReadAll(resp.Body)
+					resp.Body.Close()
+					if err != nil || resp.StatusCode != http.StatusOK {
+						t.Errorf("worker %d cluster %d: %d %s", w, c, resp.StatusCode, body)
+						return
+					}
+					var raw struct {
+						Plan json.RawMessage `json:"plan"`
+					}
+					if err := json.Unmarshal(body, &raw); err != nil {
+						t.Error(err)
+						return
+					}
+					if !bytes.Equal(raw.Plan, want[c]) {
+						t.Errorf("worker %d: cluster %d plan differs from its reference (cross-session bleed?)", w, c)
+						return
+					}
+				}
+				// Poll stats mid-flight: must never race or torn-read.
+				resp, err := http.Get(ts.URL + "/v1/stats")
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	// Per-session serialization: every request planned exactly once.
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats api.StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if len(stats.Sessions) != clusters {
+		t.Fatalf("%d sessions, want %d", len(stats.Sessions), clusters)
+	}
+	for _, ss := range stats.Sessions {
+		if ss.Cycles != workers*perWorker {
+			t.Errorf("cluster %s planned %d cycles, want %d", ss.ClusterID, ss.Cycles, workers*perWorker)
+		}
 	}
 }

@@ -1,0 +1,224 @@
+// Package shard decomposes one large cluster snapshot into K
+// independently plannable partitions, plans them concurrently with
+// per-shard controllers, and merges the per-shard plans into a single
+// core.Plan whose actions are ordered freeing-first globally.
+//
+// Sharding is the scale step past incremental re-planning: a single
+// planner — however incremental — still owns every node, so cold plans
+// and worst-case cycles grow with the whole cluster. A 20 000-node
+// cluster planned as 16 shards costs one shard's planning time on
+// enough cores, and each shard keeps the full arena/index/incremental
+// machinery of core.PlacementController across cycles.
+//
+// The decomposition is deterministic (identical snapshots partition
+// identically, so sharded controllers stay deterministic end to end)
+// and intentionally simple:
+//
+//   - nodes split into K contiguous blocks in snapshot order, balanced
+//     to within one node;
+//   - running jobs are pinned to the shard owning their node;
+//   - pending, suspended and stranded jobs are dealt round-robin in
+//     snapshot order (stable while the backlog is stable, so per-shard
+//     replay and carry-over tiers keep firing in steady state);
+//   - each web application lives in exactly one home shard — the shard
+//     holding the plurality of its live instances (lowest shard wins
+//     ties; apps with no live instances are dealt round-robin). Its
+//     instances in foreign shards are reconciled away: the partitioner
+//     emits RemoveInstance actions for them and strips them from the
+//     home shard's view, so the application converges into its home
+//     shard within one cycle.
+//
+// With K=1 the sharded controller bypasses partitioning and merging
+// entirely and is byte-identical to the wrapped controller.
+package shard
+
+import (
+	"sort"
+
+	"slaplace/internal/cluster"
+	"slaplace/internal/core"
+	"slaplace/internal/res"
+	"slaplace/internal/workload/batch"
+)
+
+// partition is one deterministic decomposition of a snapshot.
+type partition struct {
+	// states are the per-shard sub-snapshots.
+	states []*core.State
+	// reconcile lists the cross-shard web instances to remove, in app
+	// snapshot order with nodes sorted per app.
+	reconcile []core.RemoveInstance
+	// jobCount / classCount weight the per-shard job-utility
+	// diagnostics back into global means.
+	jobCount   []int
+	classCount []map[string]int
+}
+
+// partitionScratch recycles the partition's backing storage across
+// cycles (the sharded controller plans under a lock, so one scratch per
+// controller suffices).
+type partitionScratch struct {
+	p         partition
+	jobBufs   [][]core.JobInfo
+	appBufs   [][]core.AppInfo
+	nodeShard map[cluster.NodeID]int32
+	instCount []int // per-shard live-instance counter, reused per app
+}
+
+// effectiveShards clamps the configured shard count to something the
+// snapshot can support: at least one, at most one shard per node.
+func effectiveShards(k, nodes int) int {
+	if nodes < 1 {
+		return 1 // a nodeless snapshot still plans (everything waits)
+	}
+	if k < 1 {
+		return 1
+	}
+	if k > nodes {
+		return nodes
+	}
+	return k
+}
+
+// blockBounds returns shard i's node index range [lo, hi) for n nodes
+// split into k balanced contiguous blocks (the first n%k blocks take
+// one extra node).
+func blockBounds(i, n, k int) (lo, hi int) {
+	base, rem := n/k, n%k
+	lo = i*base + min(i, rem)
+	hi = lo + base
+	if i < rem {
+		hi++
+	}
+	return lo, hi
+}
+
+// split builds the K-way partition of st into the scratch's recycled
+// storage. The returned partition (and its states) is valid until the
+// next split on the same scratch.
+func (sc *partitionScratch) split(st *core.State, k int) *partition {
+	k = effectiveShards(k, len(st.Nodes))
+	p := &sc.p
+	p.reconcile = p.reconcile[:0]
+	if cap(p.states) < k {
+		p.states = make([]*core.State, k)
+		for i := range p.states {
+			p.states[i] = &core.State{}
+		}
+		p.jobCount = make([]int, k)
+		p.classCount = make([]map[string]int, k)
+		sc.jobBufs = make([][]core.JobInfo, k)
+		sc.appBufs = make([][]core.AppInfo, k)
+		sc.instCount = make([]int, k)
+	}
+	p.states = p.states[:k]
+	p.jobCount = p.jobCount[:k]
+	p.classCount = p.classCount[:k]
+
+	// Nodes: contiguous blocks, shared (not copied) with the snapshot.
+	if sc.nodeShard == nil {
+		sc.nodeShard = make(map[cluster.NodeID]int32, len(st.Nodes))
+	} else {
+		clear(sc.nodeShard)
+	}
+	for i := 0; i < k; i++ {
+		lo, hi := blockBounds(i, len(st.Nodes), k)
+		sub := p.states[i]
+		if sub == nil {
+			sub = &core.State{}
+			p.states[i] = sub
+		}
+		*sub = core.State{Now: st.Now, Nodes: st.Nodes[lo:hi]}
+		for j := lo; j < hi; j++ {
+			sc.nodeShard[st.Nodes[j].ID] = int32(i)
+		}
+		p.jobCount[i] = 0
+		if p.classCount[i] == nil {
+			p.classCount[i] = make(map[string]int)
+		} else {
+			clear(p.classCount[i])
+		}
+	}
+
+	// Jobs: running jobs pinned to their node's shard; everything else
+	// (pending, suspended, or stranded on a node outside the snapshot)
+	// dealt round-robin in snapshot order.
+	for i := range sc.jobBufs {
+		sc.jobBufs[i] = sc.jobBufs[i][:0]
+	}
+	unpinned := 0
+	for j := range st.Jobs {
+		job := &st.Jobs[j]
+		var s int
+		if hosted, ok := sc.nodeShard[job.Node]; ok && job.State == batch.Running {
+			s = int(hosted)
+		} else {
+			s = unpinned % k
+			unpinned++
+		}
+		sc.jobBufs[s] = append(sc.jobBufs[s], *job)
+		p.jobCount[s]++
+		p.classCount[s][job.Class]++
+	}
+
+	// Apps: home shard by live-instance plurality (lowest shard wins
+	// ties), round-robin for apps with no live instance. Foreign live
+	// instances become reconcile removals and are stripped from the
+	// home shard's view; instances on nodes outside the snapshot are
+	// kept as-is (the planner ignores offline nodes, exactly like the
+	// unsharded pipeline does).
+	for i := range sc.appBufs {
+		sc.appBufs[i] = sc.appBufs[i][:0]
+	}
+	homeless := 0
+	for a := range st.Apps {
+		app := &st.Apps[a]
+		for i := range sc.instCount {
+			sc.instCount[i] = 0
+		}
+		live := 0
+		for n := range app.Instances {
+			if s, ok := sc.nodeShard[n]; ok {
+				sc.instCount[s]++
+				live++
+			}
+		}
+		home := 0
+		if live == 0 {
+			home = homeless % k
+			homeless++
+		} else {
+			for i := 1; i < k; i++ {
+				if sc.instCount[i] > sc.instCount[home] {
+					home = i
+				}
+			}
+		}
+		sub := *app
+		if live > sc.instCount[home] {
+			// Cross-shard instances: strip them from the home view and
+			// schedule their removal, nodes in sorted order.
+			var foreign []cluster.NodeID
+			inst := make(map[cluster.NodeID]res.CPU, len(app.Instances))
+			for n, s := range app.Instances {
+				if hosted, ok := sc.nodeShard[n]; ok && int(hosted) != home {
+					foreign = append(foreign, n)
+					continue
+				}
+				inst[n] = s
+			}
+			sort.Slice(foreign, func(x, y int) bool { return foreign[x] < foreign[y] })
+			for _, n := range foreign {
+				p.reconcile = append(p.reconcile, core.RemoveInstance{App: app.ID, Node: n})
+			}
+			sub.Instances = inst
+		}
+		sc.appBufs[home] = append(sc.appBufs[home], sub)
+	}
+
+	for i := 0; i < k; i++ {
+		p.states[i].Jobs = sc.jobBufs[i]
+		p.states[i].Apps = sc.appBufs[i]
+	}
+	return p
+}

@@ -57,6 +57,7 @@ import (
 	"slaplace/internal/metrics"
 	"slaplace/internal/queueing"
 	"slaplace/internal/res"
+	"slaplace/internal/shard"
 	"slaplace/internal/utility"
 	"slaplace/internal/vm"
 	"slaplace/internal/workload/batch"
@@ -182,6 +183,16 @@ func NewSessionFor(ctrl Controller) (*Session, error) {
 
 // NewController builds the paper's utility-driven placement controller.
 func NewController(cfg ControllerConfig) Controller { return core.New(cfg) }
+
+// Sharded wraps a per-shard controller factory in a planner that
+// partitions the cluster into the given number of shards, plans them
+// concurrently, and merges the per-shard plans freeing-first. With
+// shards <= 1 (or a nil factory, which means the default utility
+// controller) planning is byte-identical to the unsharded controller.
+// See internal/shard for the partitioning rules.
+func Sharded(shards int, newCtrl func() Controller) Controller {
+	return shard.New(shard.Config{Shards: shards, NewController: newCtrl})
+}
 
 // DefaultControllerConfig returns the configuration used by the
 // paper-scenario experiments.
