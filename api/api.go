@@ -303,8 +303,16 @@ type SessionStats struct {
 	Cycles     int    `json:"cycles"`
 	// Shards is the session's partition count when it plans sharded
 	// (omitted for unsharded sessions).
-	Shards int        `json:"shards,omitempty"`
-	Stats  *PlanStats `json:"stats,omitempty"`
+	Shards int `json:"shards,omitempty"`
+	// EffectiveShards is the partition count the last snapshot actually
+	// supported (never above its node count); ShardLoadSpread the last
+	// partition's max/min shard demand ratio; Reshards the number of
+	// cycles so far whose partition migrated node blocks between shards.
+	// All omitted for unsharded sessions.
+	EffectiveShards int        `json:"effectiveShards,omitempty"`
+	ShardLoadSpread float64    `json:"shardLoadSpread,omitempty"`
+	Reshards        int        `json:"reshards,omitempty"`
+	Stats           *PlanStats `json:"stats,omitempty"`
 }
 
 // HealthResponse is the body of GET /v1/healthz.

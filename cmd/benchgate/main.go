@@ -18,6 +18,12 @@
 // but absent from the run fail the gate (a silently deleted benchmark
 // is a regression of coverage).
 //
+// Besides per-benchmark medians the baseline may carry hand-authored
+// ratio gates (see RatioGate): same-run invariants like "cold K=16
+// planning beats cold K=1 by 1.5x". Ratios compare two medians of the
+// same run on the same host, so they hold machine-independently where
+// absolute tolerances cannot; -update carries them over untouched.
+//
 // When $GITHUB_STEP_SUMMARY is set (or -summary points at a file), the
 // gate appends a per-benchmark markdown delta table — old vs new
 // median and % change — to it. -cpuprofile forwards to go test so CI
@@ -31,6 +37,7 @@ import (
 	"os"
 	"os/exec"
 	"regexp"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
@@ -42,6 +49,59 @@ type Baseline struct {
 	Benchtime string             `json:"benchtime"`
 	Count     int                `json:"count"`
 	Medians   map[string]float64 `json:"medians_ns_per_op"`
+	// RatioGates are relative invariants between two benchmarks of the
+	// same run. Unlike the medians they are authored by hand and carried
+	// over verbatim by -update (a re-baseline must not silently drop a
+	// guarantee).
+	RatioGates []RatioGate `json:"ratio_gates,omitempty"`
+}
+
+// RatioGate asserts that Num's median ns/op divided by Den's is at
+// least a floor — e.g. "a K=1 cold plan takes at least 1.5x as long as
+// a K=16 cold plan". The floor depends on the host: Min applies when
+// GOMAXPROCS >= MinProcs (the multi-core CI shape the speedup is
+// specified for); MinSerial applies below that, so a single-core host
+// still gates — the decomposition must never be a slowdown — without
+// demanding a parallel win that fewer cores cannot deliver.
+type RatioGate struct {
+	Name      string  `json:"name"`
+	Num       string  `json:"num"`
+	Den       string  `json:"den"`
+	Min       float64 `json:"min"`
+	MinProcs  int     `json:"min_procs"`
+	MinSerial float64 `json:"min_serial"`
+}
+
+// floor picks the gate's active floor for the given proc count.
+func (g RatioGate) floor(procs int) float64 {
+	if procs >= g.MinProcs {
+		return g.Min
+	}
+	return g.MinSerial
+}
+
+// checkRatios evaluates every ratio gate against fresh medians,
+// returning one message per violation.
+func checkRatios(gates []RatioGate, fresh map[string]float64, procs int) []string {
+	var bad []string
+	for _, g := range gates {
+		num, okN := fresh[g.Num]
+		den, okD := fresh[g.Den]
+		switch {
+		case !okN || !okD:
+			bad = append(bad, fmt.Sprintf("%s: benchmark missing from run (num %q: %v, den %q: %v)",
+				g.Name, g.Num, okN, g.Den, okD))
+		case den <= 0:
+			bad = append(bad, fmt.Sprintf("%s: non-positive denominator median", g.Name))
+		default:
+			floor := g.floor(procs)
+			if ratio := num / den; ratio < floor {
+				bad = append(bad, fmt.Sprintf("%s: ratio %.2fx below the %.2fx floor (GOMAXPROCS=%d; num %.0f / den %.0f ns/op)",
+					g.Name, ratio, floor, procs, num, den))
+			}
+		}
+	}
+	return bad
 }
 
 // benchLine matches one `go test -bench` result line.
@@ -144,6 +204,68 @@ func summaryTable(bench string, baseline, fresh map[string]float64) string {
 	return b.String()
 }
 
+// shardBenchName matches the sharded benchmark's sub-benchmarks.
+var shardBenchName = regexp.MustCompile(`^(BenchmarkShardedPlacement/(cold|steady)/.*shards=)(\d+)$`)
+
+// shardSweepTable renders the sharded K-sweep as markdown: for every
+// cold/steady mode with a K=1 run, the speedup of each K over K=1, in
+// the baseline and in this run. The sweep makes a partition-count
+// regression visible at a glance even while every absolute median stays
+// inside tolerance.
+func shardSweepTable(baseline, fresh map[string]float64) string {
+	type entry struct {
+		k    int
+		name string
+	}
+	modes := map[string][]entry{}
+	ones := map[string]string{}
+	for name := range fresh {
+		m := shardBenchName.FindStringSubmatch(name)
+		if m == nil {
+			continue
+		}
+		k, err := strconv.Atoi(m[3])
+		if err != nil {
+			continue
+		}
+		if k == 1 {
+			ones[m[2]] = name
+		} else {
+			modes[m[2]] = append(modes[m[2]], entry{k, name})
+		}
+	}
+	speedup := func(meds map[string]float64, one, name string) string {
+		base, ok1 := meds[one]
+		cur, ok2 := meds[name]
+		if !ok1 || !ok2 || cur <= 0 {
+			return "—"
+		}
+		return fmt.Sprintf("%.2fx", base/cur)
+	}
+	var b strings.Builder
+	b.WriteString("### Sharded K-sweep (speedup vs K=1)\n\n")
+	b.WriteString("| mode | K | baseline | run |\n")
+	b.WriteString("|---|---:|---:|---:|\n")
+	rows := 0
+	for _, mode := range []string{"cold", "steady"} {
+		one, ok := ones[mode]
+		if !ok {
+			continue
+		}
+		entries := modes[mode]
+		sort.Slice(entries, func(i, j int) bool { return entries[i].k < entries[j].k })
+		for _, e := range entries {
+			fmt.Fprintf(&b, "| %s | %d | %s | %s |\n",
+				mode, e.k, speedup(baseline, one, e.name), speedup(fresh, one, e.name))
+			rows++
+		}
+	}
+	if rows == 0 {
+		return ""
+	}
+	return b.String()
+}
+
 // compare gates fresh medians against a baseline: any median above
 // old*(1+tolerance), or any baseline benchmark missing from the run,
 // is a regression. New benchmarks absent from the baseline pass (they
@@ -209,21 +331,22 @@ func main() {
 
 	// Read the committed baseline BEFORE any write: -out may (and in CI
 	// does) point at the same path, and gating against a file this run
-	// just wrote would make the gate a no-op.
+	// just wrote would make the gate a no-op. -update reads it too — the
+	// hand-authored ratio gates carry over to the rewritten file.
 	var base Baseline
-	if !*update {
-		data, err := os.ReadFile(*baseline)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "benchgate: no baseline (%v); create one with -update\n", err)
-			os.Exit(1)
-		}
+	data, readErr := os.ReadFile(*baseline)
+	if readErr == nil {
 		if err := json.Unmarshal(data, &base); err != nil {
 			fmt.Fprintf(os.Stderr, "benchgate: parse baseline %s: %v\n", *baseline, err)
 			os.Exit(1)
 		}
+	} else if !*update {
+		fmt.Fprintf(os.Stderr, "benchgate: no baseline (%v); create one with -update\n", readErr)
+		os.Exit(1)
 	}
 
-	doc := Baseline{Bench: *bench, Benchtime: *benchtime, Count: *count, Medians: fresh}
+	doc := Baseline{Bench: *bench, Benchtime: *benchtime, Count: *count,
+		Medians: fresh, RatioGates: base.RatioGates}
 	writeTo := *out
 	if *update {
 		writeTo = *baseline
@@ -250,6 +373,9 @@ func main() {
 			fmt.Fprintf(os.Stderr, "benchgate: summary: %v\n", err)
 		} else {
 			fmt.Fprintln(f, summaryTable(*bench, base.Medians, fresh))
+			if sweep := shardSweepTable(base.Medians, fresh); sweep != "" {
+				fmt.Fprintln(f, sweep)
+			}
 			f.Close()
 		}
 	}
@@ -269,12 +395,31 @@ func main() {
 		}
 		fmt.Printf("  %-60s %12.0f ns/op  %s\n", name, fresh[name], status)
 	}
-	if len(regs) > 0 {
-		fmt.Fprintf(os.Stderr, "benchgate: %d regression(s) beyond %.0f%% tolerance:\n", len(regs), *tolerance*100)
-		for _, r := range regs {
-			fmt.Fprintf(os.Stderr, "  %s\n", r)
+	procs := runtime.GOMAXPROCS(0)
+	for _, g := range base.RatioGates {
+		if num, ok := fresh[g.Num]; ok {
+			if den, ok := fresh[g.Den]; ok && den > 0 {
+				fmt.Printf("  ratio %-40s %17.2fx  (floor %.2fx at GOMAXPROCS=%d)\n",
+					g.Name, num/den, g.floor(procs), procs)
+			}
+		}
+	}
+	badRatios := checkRatios(base.RatioGates, fresh, procs)
+	if len(regs) > 0 || len(badRatios) > 0 {
+		if len(regs) > 0 {
+			fmt.Fprintf(os.Stderr, "benchgate: %d regression(s) beyond %.0f%% tolerance:\n", len(regs), *tolerance*100)
+			for _, r := range regs {
+				fmt.Fprintf(os.Stderr, "  %s\n", r)
+			}
+		}
+		if len(badRatios) > 0 {
+			fmt.Fprintf(os.Stderr, "benchgate: %d ratio gate violation(s):\n", len(badRatios))
+			for _, m := range badRatios {
+				fmt.Fprintf(os.Stderr, "  %s\n", m)
+			}
 		}
 		os.Exit(1)
 	}
-	fmt.Printf("benchgate: %d benchmarks within %.0f%% of baseline\n", len(fresh), *tolerance*100)
+	fmt.Printf("benchgate: %d benchmarks within %.0f%% of baseline, %d ratio gates hold\n",
+		len(fresh), *tolerance*100, len(base.RatioGates))
 }

@@ -27,6 +27,14 @@ type planScratch struct {
 	webKept   []cluster.NodeID
 	webPopped []*Ledger
 	hasInst   map[cluster.NodeID]bool
+
+	// Share-phase scratch: the per-node waterfill buffers and the
+	// surplus spreader's sorted app-ID list (one of each call per node
+	// per cycle).
+	wfShares []res.CPU
+	wfActive []int
+	wfNext   []int
+	webIDs   []trans.AppID
 }
 
 // planArena owns the per-cycle planning books so consecutive control
@@ -54,7 +62,25 @@ type planArena struct {
 	appCurves []utility.Curve
 	curves    []utility.Curve
 
+	// jobCurveSlab is the flat JobCurve backing store (one curve per
+	// job, rebuilt in place every cycle) and eqScratch the equalizer's
+	// recycled working storage — together they remove the two largest
+	// per-cycle allocations from the targets phase.
+	jobCurveSlab []utility.JobCurve
+	eqScratch    utility.EqualizeScratch
+
 	appTarget map[trans.AppID]res.CPU
+}
+
+// grabJobCurves returns n recyclable JobCurve slots. Like grabRecords,
+// recycled slots hold the previous cycle's contents and must be
+// overwritten wholesale (JobCurve.Fill) before use.
+func (a *planArena) grabJobCurves(n int) []utility.JobCurve {
+	if cap(a.jobCurveSlab) < n {
+		a.jobCurveSlab = make([]utility.JobCurve, n)
+	}
+	a.jobCurveSlab = a.jobCurveSlab[:n]
+	return a.jobCurveSlab
 }
 
 // context opens a planning pass backed by the arena's recycled books.

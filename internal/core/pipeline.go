@@ -211,15 +211,29 @@ func (c *PlacementController) phaseTargets(ctx *planContext) {
 		ctx.appCurves = append(ctx.appCurves, st.Apps[i].Curve())
 	}
 	curves = append(curves, ctx.appCurves...)
-	for i := range st.Jobs {
-		curves = append(curves, st.Jobs[i].Curve(st.Now))
+	if a := ctx.arena; a != nil {
+		// Arena-backed pass: rebuild the job curves in the recycled slab
+		// instead of allocating 10^5 fresh curves per cycle.
+		slab := a.grabJobCurves(len(st.Jobs))
+		for i := range st.Jobs {
+			st.Jobs[i].FillCurve(&slab[i], st.Now)
+			curves = append(curves, &slab[i])
+		}
+	} else {
+		for i := range st.Jobs {
+			curves = append(curves, st.Jobs[i].Curve(st.Now))
+		}
 	}
 	if a := ctx.arena; a != nil {
 		a.appCurves = ctx.appCurves
 		a.curves = curves
 	}
 	jobCurves := curves[len(st.Apps):]
-	eq := utility.Equalize(curves, st.TotalCPU())
+	var eqScratch *utility.EqualizeScratch
+	if a := ctx.arena; a != nil {
+		eqScratch = &a.eqScratch
+	}
+	eq := utility.EqualizeWith(eqScratch, curves, st.TotalCPU())
 	plan.EqualizedUtility = eq.Equalized
 
 	if ctx.appTarget == nil {

@@ -126,11 +126,13 @@ func (c *PlacementController) phaseWebPlacement(ctx *planContext) {
 // each app's remaining useful demand.
 func (c *PlacementController) spreadWebSurplus(ctx *planContext, l *Ledger, surplus res.CPU, appAlloc map[trans.AppID]res.CPU) {
 	st, plan := ctx.st, ctx.plan
-	// Deterministic app order.
-	ids := make([]trans.AppID, 0, len(l.WebApps))
+	// Deterministic app order (recycled scratch: one call per node).
+	sc := ctx.ensureScratch()
+	ids := sc.webIDs[:0]
 	for id := range l.WebApps {
 		ids = append(ids, id)
 	}
+	sc.webIDs = ids
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	var totalShare res.CPU
 	for _, id := range ids {

@@ -10,6 +10,7 @@ import (
 // any surplus back to the web instances.
 func (c *PlacementController) phaseShares(ctx *planContext) {
 	ledgers := ctx.ledgers
+	sc := ctx.ensureScratch()
 	// Track each app's planned total so surplus feeding never pushes an
 	// app beyond its maximum useful demand (extra CPU there is wasted).
 	appAlloc := make(map[trans.AppID]res.CPU)
@@ -23,7 +24,7 @@ func (c *PlacementController) phaseShares(ctx *planContext) {
 		if available < 0 {
 			available = 0
 		}
-		shares := waterfillJobs(l.Jobs, available)
+		shares := waterfillJobsInto(sc, l.Jobs, available)
 		var used res.CPU
 		for i, pj := range l.Jobs {
 			pj.Share = shares[i]
@@ -42,18 +43,35 @@ func (c *PlacementController) phaseShares(ctx *planContext) {
 // ceiling: the job's max speed (a running job may receive more than its
 // hypothetical target because only placed jobs can use real CPU).
 func waterfillJobs(jobs []*PlannedJob, capacity res.CPU) []res.CPU {
-	shares := make([]res.CPU, len(jobs))
+	return waterfillJobsInto(&planScratch{}, jobs, capacity)
+}
+
+// waterfillJobsInto is waterfillJobs backed by recycled scratch: the
+// phase runs once per node per cycle, so the fresh slices would
+// otherwise dominate the share phase's allocations. The returned slice
+// aliases the scratch and is valid until the next call on it.
+func waterfillJobsInto(sc *planScratch, jobs []*PlannedJob, capacity res.CPU) []res.CPU {
+	if cap(sc.wfShares) < len(jobs) {
+		sc.wfShares = make([]res.CPU, len(jobs))
+		sc.wfActive = make([]int, 0, len(jobs))
+		sc.wfNext = make([]int, 0, len(jobs))
+	}
+	shares := sc.wfShares[:len(jobs)]
+	for i := range shares {
+		shares[i] = 0
+	}
 	if len(jobs) == 0 || capacity <= 0 {
 		return shares
 	}
 	remaining := capacity
-	active := make([]int, 0, len(jobs))
+	active := sc.wfActive[:0]
 	for i := range jobs {
 		active = append(active, i)
 	}
+	spare := sc.wfNext[:0]
 	for len(active) > 0 && remaining > 1e-9 {
 		per := remaining / res.CPU(len(active))
-		var next []int
+		next := spare[:0]
 		var handed res.CPU
 		for _, i := range active {
 			speedCap := jobs[i].Info.MaxSpeed
@@ -71,7 +89,7 @@ func waterfillJobs(jobs []*PlannedJob, capacity res.CPU) []res.CPU {
 		if len(next) == len(active) {
 			break // nobody capped; equal split is final
 		}
-		active = next
+		active, spare = next, active
 	}
 	return shares
 }

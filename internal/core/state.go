@@ -69,6 +69,12 @@ func (j JobInfo) Curve(now float64) *utility.JobCurve {
 	return utility.NewJobCurve(string(j.ID), now, j.Remaining, j.MaxSpeed, j.Goal, j.Fn)
 }
 
+// FillCurve rebuilds the job's utility curve in place — the
+// allocation-free counterpart of Curve for arena-recycled curve slabs.
+func (j *JobInfo) FillCurve(c *utility.JobCurve, now float64) {
+	c.Fill(string(j.ID), now, j.Remaining, j.MaxSpeed, j.Goal, j.Fn)
+}
+
 // AppInfo is one web application's snapshot.
 type AppInfo struct {
 	ID             trans.AppID

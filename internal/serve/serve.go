@@ -68,7 +68,10 @@ type clusterSession struct {
 	mu     sync.Mutex
 	sess   *control.Session
 	shards int // partition count when planning sharded, else 0
-	prev   *api.Plan
+	// sharded is the session's shard controller when shards > 0 (the
+	// stats endpoint reads its partition diagnostics).
+	sharded *shard.Controller
+	prev    *api.Plan
 }
 
 // New builds a server.
@@ -106,8 +109,10 @@ func (s *Server) session(clusterID string, shards int) (*clusterSession, error) 
 		return nil, fmt.Errorf("serve: session limit %d reached", s.opts.MaxSessions)
 	}
 	var ctrl core.Controller
+	var sharded *shard.Controller
 	if shards > 1 {
-		ctrl = shard.New(shard.Config{Shards: shards, NewController: s.opts.NewController})
+		sharded = shard.New(shard.Config{Shards: shards, NewController: s.opts.NewController})
+		ctrl = sharded
 	} else {
 		ctrl = s.opts.NewController()
 		shards = 0
@@ -116,7 +121,7 @@ func (s *Server) session(clusterID string, shards int) (*clusterSession, error) 
 	if err != nil {
 		return nil, err
 	}
-	cs := &clusterSession{sess: sess, shards: shards}
+	cs := &clusterSession{sess: sess, shards: shards, sharded: sharded}
 	s.sessions[clusterID] = cs
 	return cs, nil
 }
@@ -242,6 +247,12 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			Controller: cs.sess.Name(),
 			Cycles:     cs.sess.Cycles(),
 			Shards:     cs.shards,
+		}
+		if cs.sharded != nil {
+			d := cs.sharded.Diagnostics()
+			ss.EffectiveShards = d.EffectiveShards
+			ss.ShardLoadSpread = d.LoadSpread
+			ss.Reshards = d.Reshards
 		}
 		if cs.sess.TracksStats() {
 			ss.Stats = wireStats(cs.sess.PlanStats())

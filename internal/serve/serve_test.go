@@ -466,6 +466,17 @@ func TestServeShardsHint(t *testing.T) {
 	if ss.Stats == nil || ss.Stats.Replayed == 0 {
 		t.Errorf("sharded session did not replay the identical snapshot: %+v", ss.Stats)
 	}
+	// Partition diagnostics: the session reports the effective shard
+	// count and a meaningful demand-load spread.
+	if ss.EffectiveShards != 2 {
+		t.Errorf("effectiveShards = %d, want 2", ss.EffectiveShards)
+	}
+	if ss.ShardLoadSpread < 1 {
+		t.Errorf("shardLoadSpread = %v, want >= 1", ss.ShardLoadSpread)
+	}
+	if ss.Reshards != 0 {
+		t.Errorf("reshards = %d on a stable snapshot, want 0", ss.Reshards)
+	}
 
 	// An out-of-range hint is a 400 at the codec layer.
 	var buf bytes.Buffer

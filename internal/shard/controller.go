@@ -2,7 +2,9 @@ package shard
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"slaplace/internal/core"
 	"slaplace/internal/res"
@@ -20,6 +22,33 @@ type Config struct {
 	// stateful planner keeps its arena, node indexes and incremental
 	// reuse tiers per shard.
 	NewController func() core.Controller
+	// ReshardSpread is the per-shard demand-spread ratio (max/min
+	// shard load) above which the partitioner migrates node blocks
+	// between shards. Zero means DefaultReshardSpread; math.Inf(1)
+	// keeps the initial boundaries until the node set changes.
+	// Resharding costs the touched shards their incremental state for
+	// one cycle; untouched shards keep byte-identical sub-snapshots
+	// and with them their replay/carry-over tiers.
+	ReshardSpread float64
+}
+
+// Diagnostics describes the most recent partition of a sharded
+// controller.
+type Diagnostics struct {
+	// ConfiguredShards is Config.Shards; EffectiveShards is the count
+	// the last snapshot actually supported (never above its node
+	// count, and 1 before the first plan).
+	ConfiguredShards int
+	EffectiveShards  int
+	// LoadSpread is the last partition's max/min shard demand ratio
+	// (1 when unsharded or perfectly balanced).
+	LoadSpread float64
+	// Reshards counts boundary migrations — cycles whose partition
+	// moved node blocks between shards at an unchanged effective K —
+	// since the controller was created. LastResharded reports whether
+	// the most recent cycle was one.
+	Reshards      int
+	LastResharded bool
 }
 
 // Controller plans a cluster as Config.Shards independent partitions
@@ -42,6 +71,10 @@ type Controller struct {
 	// may support fewer shards than configured); per-cycle stats
 	// aggregate over exactly those controllers.
 	lastK int
+	// lastSpread / lastResharded mirror the most recent partition's
+	// diagnostics (Diagnostics()).
+	lastSpread    float64
+	lastResharded bool
 	// shardEq holds the latest cycle's per-shard equalized utility
 	// levels (diagnostics for the cross-shard utility bound).
 	shardEq []float64
@@ -99,6 +132,8 @@ func (c *Controller) Plan(st *core.State) *core.Plan {
 		plan := c.controller(0).Plan(st)
 		c.mu.Lock()
 		c.lastK = 1
+		c.lastSpread = 1
+		c.lastResharded = false
 		c.mu.Unlock()
 		return plan
 	}
@@ -110,26 +145,78 @@ func (c *Controller) Plan(st *core.State) *core.Plan {
 
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	p := c.scratch.split(st, c.cfg.Shards)
+	p := c.scratch.split(st, c.cfg.Shards, c.cfg.ReshardSpread)
 	k := len(p.states)
 
 	plans := make([]*core.Plan, k)
-	var wg sync.WaitGroup
-	for i := 0; i < k; i++ {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			plans[i] = c.inner[i].Plan(p.states[i])
-		}(i)
-	}
-	wg.Wait()
+	c.planShards(p, plans)
 
 	c.lastK = k
+	c.lastSpread = p.spread
+	c.lastResharded = p.resharded
 	c.shardEq = c.shardEq[:0]
 	for i := 0; i < k; i++ {
 		c.shardEq = append(c.shardEq, plans[i].EqualizedUtility)
 	}
 	return mergePlans(p, plans)
+}
+
+// planShards plans every shard of the partition, concurrently on a
+// worker pool sized min(K, GOMAXPROCS) — one worker degenerates to a
+// plain in-order loop, so a single-proc host pays no scheduling
+// overhead for the decomposition. plans[i] is indexed, never appended,
+// so the worker count cannot change the result.
+func (c *Controller) planShards(p *partition, plans []*core.Plan) {
+	k := len(p.states)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > k {
+		workers = k
+	}
+	if workers <= 1 {
+		for i := 0; i < k; i++ {
+			plans[i] = c.inner[i].Plan(p.states[i])
+		}
+		return
+	}
+	var next atomic.Int32
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= k {
+					return
+				}
+				plans[i] = c.inner[i].Plan(p.states[i])
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Diagnostics returns the most recent partition's shape: effective
+// shard count, demand-load spread, and the reshard history. Before the
+// first plan (or with Shards <= 1) it reports one effective shard and
+// a spread of 1.
+func (c *Controller) Diagnostics() Diagnostics {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	d := Diagnostics{
+		ConfiguredShards: c.cfg.Shards,
+		EffectiveShards:  c.lastK,
+		LoadSpread:       c.lastSpread,
+		Reshards:         c.scratch.reshards,
+		LastResharded:    c.lastResharded,
+	}
+	if d.EffectiveShards < 1 {
+		d.EffectiveShards = 1
+	}
+	if d.LoadSpread == 0 {
+		d.LoadSpread = 1
+	}
+	return d
 }
 
 // ShardUtilities returns the per-shard equalized utility levels of the

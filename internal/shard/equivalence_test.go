@@ -136,6 +136,27 @@ func saturated(st *core.State) bool {
 	return maxUseful <= capacity
 }
 
+// shardAligned reports whether the real (load-aware) partitioner keeps
+// st aligned at K shards: no app straddles a boundary (no reconcile
+// removals) and every shard saturates on its own — the preconditions
+// under which sharded and unsharded planning provably agree.
+func shardAligned(st *core.State, k int) bool {
+	if !saturated(st) {
+		return false
+	}
+	var sc partitionScratch
+	p := sc.split(cloneState(st), k, 0)
+	if len(p.reconcile) > 0 {
+		return false
+	}
+	for _, sub := range p.states {
+		if !saturated(sub) {
+			return false
+		}
+	}
+	return true
+}
+
 // TestShardedEquivalenceAligned is the shard/unshard property test:
 // for random scenarios with no cross-shard web apps and no placement
 // freedom, the K-shard merged plan is action-set-identical to the
@@ -143,11 +164,15 @@ func saturated(st *core.State) bool {
 func TestShardedEquivalenceAligned(t *testing.T) {
 	rng := rand.New(rand.NewSource(31))
 	trials, acted := 0, 0
-	for trial := 0; trial < 40; trial++ {
+	for trial := 0; trial < 60; trial++ {
 		k := 2 + rng.Intn(3)
 		st := alignedState(rng, k)
-		if !saturated(st) {
-			continue // generator overshot capacity; the property needs saturation
+		if !shardAligned(st, k) {
+			// The generator lays workloads out in equal node blocks; the
+			// load-aware partitioner may cut elsewhere. The property only
+			// holds when no app straddles a cut and every shard
+			// saturates, so check with the real partitioner.
+			continue
 		}
 		trials++
 		got := New(Config{Shards: k}).Plan(cloneState(st))
@@ -191,12 +216,15 @@ func TestShardedMatchesStandalonePartitionPlans(t *testing.T) {
 		st := randomState(rng)
 		k := 2 + rng.Intn(3)
 		sharded := New(Config{Shards: k})
+		// One reference scratch per trial: boundaries persist across
+		// cycles, so the standalone reference must replay the same
+		// snapshot history as the controller's own scratch.
+		var sc partitionScratch
 		for cycle := 0; cycle < 5; cycle++ {
 			got := sharded.Plan(cloneState(st))
 
 			ref := cloneState(st)
-			var sc partitionScratch
-			p := sc.split(ref, k)
+			p := sc.split(ref, k, 0)
 			plans := make([]*core.Plan, len(p.states))
 			for i, sub := range p.states {
 				plans[i] = fromScratchPlan(sub)

@@ -45,6 +45,13 @@ type JobCurve struct {
 	goal      float64  // absolute completion-time goal (s)
 	window    float64  // slack normalizer (s), > 0
 	fn        Function
+
+	// utilityAtZero / maxUtility cache UtilityAt(0) and
+	// UtilityAt(maxSpeed): the equalizer's bracketing and demand
+	// inversion probe both bounds on every bisection step, and a curve
+	// is immutable after construction.
+	utilityAtZero float64
+	maxUtility    float64
 }
 
 var _ Curve = (*JobCurve)(nil)
@@ -53,6 +60,15 @@ var _ Curve = (*JobCurve)(nil)
 // It panics on non-positive remaining work or max speed — completed
 // jobs must not be handed to the optimizer.
 func NewJobCurve(id string, now float64, remaining res.Work, maxSpeed res.CPU, goal float64, fn Function) *JobCurve {
+	c := new(JobCurve)
+	c.Fill(id, now, remaining, maxSpeed, goal, fn)
+	return c
+}
+
+// Fill (re)initializes the curve in place — the arena-recycling
+// counterpart of NewJobCurve, with identical semantics and panics, so a
+// controller can rebuild 10^5 job curves per cycle without allocating.
+func (c *JobCurve) Fill(id string, now float64, remaining res.Work, maxSpeed res.CPU, goal float64, fn Function) {
 	if remaining <= 0 {
 		panic(fmt.Sprintf("utility: job %q has non-positive remaining work %v", id, remaining))
 	}
@@ -65,10 +81,12 @@ func NewJobCurve(id string, now float64, remaining res.Work, maxSpeed res.CPU, g
 	idealDur := remaining.Seconds(maxSpeed)
 	ctMin := now + idealDur
 	window := math.Max(goal-ctMin, minWindowFrac*idealDur)
-	return &JobCurve{
+	*c = JobCurve{
 		id: id, now: now, remaining: remaining, maxSpeed: maxSpeed,
 		goal: goal, window: window, fn: fn,
 	}
+	c.utilityAtZero = c.UtilityAt(0)
+	c.maxUtility = c.UtilityAt(maxSpeed)
 }
 
 // ID implements Curve.
@@ -91,14 +109,14 @@ func (c *JobCurve) UtilityAt(alloc res.CPU) float64 { return c.fn.Eval(c.perf(al
 func (c *JobCurve) MaxUseful() res.CPU { return c.maxSpeed }
 
 // MaxUtility implements Curve.
-func (c *JobCurve) MaxUtility() float64 { return c.UtilityAt(c.maxSpeed) }
+func (c *JobCurve) MaxUtility() float64 { return c.maxUtility }
 
 // DemandFor implements Curve.
 func (c *JobCurve) DemandFor(u float64) res.CPU {
-	if u <= c.UtilityAt(0) {
+	if u <= c.utilityAtZero {
 		return 0
 	}
-	if u >= c.MaxUtility() {
+	if u >= c.maxUtility {
 		return c.maxSpeed
 	}
 	pStar := c.fn.Invert(u)
@@ -163,6 +181,12 @@ type TransCurve struct {
 	model     queueing.Model
 	fn        Function
 	maxUseful res.CPU
+
+	// utilityAtZero / maxUtility cache UtilityAt(0) and
+	// UtilityAt(maxUseful); each evaluates the queueing model, and the
+	// equalizer probes both on every bisection step.
+	utilityAtZero float64
+	maxUtility    float64
 }
 
 var _ Curve = (*TransCurve)(nil)
@@ -192,6 +216,8 @@ func NewTransCurve(id string, lambda, rtGoal float64, model queueing.Model, fn F
 		rtSat := model.MinRT() + satRTFraction*(rtGoal-model.MinRT())
 		c.maxUseful = model.DemandFor(lambda, rtSat)
 	}
+	c.utilityAtZero = c.UtilityAt(0)
+	c.maxUtility = c.UtilityAt(c.maxUseful)
 	return c
 }
 
@@ -215,15 +241,14 @@ func (c *TransCurve) perfOfRT(rt float64) float64 {
 func (c *TransCurve) MaxUseful() res.CPU { return c.maxUseful }
 
 // MaxUtility implements Curve.
-func (c *TransCurve) MaxUtility() float64 { return c.UtilityAt(c.maxUseful) }
+func (c *TransCurve) MaxUtility() float64 { return c.maxUtility }
 
 // DemandFor implements Curve.
 func (c *TransCurve) DemandFor(u float64) res.CPU {
-	if u <= c.UtilityAt(0) {
+	if u <= c.utilityAtZero {
 		return 0
 	}
-	maxU := c.MaxUtility()
-	if u >= maxU {
+	if u >= c.maxUtility {
 		return c.maxUseful
 	}
 	pStar := c.fn.Invert(u)

@@ -31,6 +31,19 @@ type Result struct {
 // equalizeTol is the utility-space tolerance of the waterfill bisection.
 const equalizeTol = 1e-9
 
+// EqualizeScratch recycles the equalizer's working storage across
+// calls. One scratch serves one caller at a time; a controller embeds
+// one per arena and reuses it every cycle, cutting the dominant
+// per-plan allocation (the Shares slice is O(workloads), megabytes at
+// 200k jobs).
+type EqualizeScratch struct {
+	shares []Share
+	active []int
+	spare  []int
+	sat    []int
+	allocs []res.CPU
+}
+
 // Equalize computes the paper's hypothetical-utility allocation: divide
 // capacity among the given workload curves so that utility is
 // lexicographically max-min — the fixed point of "continuously steal
@@ -47,24 +60,43 @@ const equalizeTol = 1e-9
 // The input curves are not mutated; Equalize is a pure function, so the
 // controller can probe what-if scenarios freely.
 func Equalize(curves []Curve, capacity res.CPU) Result {
+	return EqualizeWith(nil, curves, capacity)
+}
+
+// EqualizeWith is Equalize backed by recycled working storage. The
+// returned Result's Shares slice aliases the scratch and is valid only
+// until the next EqualizeWith call on the same scratch; a nil scratch
+// degenerates to the allocating Equalize. The two entry points are
+// bit-identical: the scratch changes where intermediates live, never
+// what arithmetic runs.
+func EqualizeWith(sc *EqualizeScratch, curves []Curve, capacity res.CPU) Result {
 	if capacity < 0 {
 		panic(fmt.Sprintf("utility: negative capacity %v", capacity))
 	}
-	r := Result{Shares: make([]Share, len(curves))}
+	if sc == nil {
+		sc = &EqualizeScratch{}
+	}
+	if cap(sc.shares) < len(curves) {
+		sc.shares = make([]Share, len(curves))
+		sc.active = make([]int, len(curves))
+		sc.spare = make([]int, 0, len(curves))
+	}
+	r := Result{Shares: sc.shares[:len(curves)]}
 	for i, c := range curves {
 		if c == nil {
 			panic(fmt.Sprintf("utility: nil curve at index %d", i))
 		}
-		r.Shares[i].Curve = c
+		r.Shares[i] = Share{Curve: c}
 	}
 	if len(curves) == 0 {
 		return r
 	}
 
-	active := make([]int, len(curves))
+	active := sc.active[:len(curves)]
 	for i := range curves {
 		active[i] = i
 	}
+	spare := sc.spare[:0]
 	remaining := capacity
 
 	// demandAt is the equalizer's demand function: the CPU workload i
@@ -112,8 +144,8 @@ func Equalize(curves []Curve, capacity res.CPU) Result {
 
 		// Saturated curves cannot reach uStar no matter what; give them
 		// their cap and redistribute what is left to the rest.
-		var saturated []int
-		var rest []int
+		saturated := sc.sat[:0]
+		rest := spare[:0]
 		for _, i := range active {
 			if curves[i].MaxUtility() <= uStar+equalizeTol {
 				saturated = append(saturated, i)
@@ -121,11 +153,15 @@ func Equalize(curves []Curve, capacity res.CPU) Result {
 				rest = append(rest, i)
 			}
 		}
+		sc.sat = saturated
 		if len(saturated) == 0 {
 			// uStar is the common level; assign and finish. Rescale if
 			// bisection overshoot put us a hair over the capacity.
 			var sum res.CPU
-			allocs := make([]res.CPU, len(active))
+			if cap(sc.allocs) < len(active) {
+				sc.allocs = make([]res.CPU, len(active))
+			}
+			allocs := sc.allocs[:len(active)]
 			for k, i := range active {
 				allocs[k] = curves[i].DemandFor(uStar)
 				sum += allocs[k]
@@ -157,7 +193,9 @@ func Equalize(curves []Curve, capacity res.CPU) Result {
 			r.Shares[i].Alloc = a
 			remaining -= a
 		}
-		active = rest
+		// The shrunk active set moves into the spare buffer's storage;
+		// the old active buffer backs the next round's rest list.
+		active, spare = rest, active
 	}
 
 	// Score the final allocations.

@@ -194,6 +194,22 @@ func Sharded(shards int, newCtrl func() Controller) Controller {
 	return shard.New(shard.Config{Shards: shards, NewController: newCtrl})
 }
 
+// ShardDiagnostics describes a sharded controller's most recent
+// partition: effective shard count, demand-load spread, and the
+// reshard history. See shard.Diagnostics.
+type ShardDiagnostics = shard.Diagnostics
+
+// ShardedDiagnostics returns the partition diagnostics of a controller
+// built by Sharded. The second result is false for any other
+// controller.
+func ShardedDiagnostics(ctrl Controller) (ShardDiagnostics, bool) {
+	sc, ok := ctrl.(*shard.Controller)
+	if !ok {
+		return ShardDiagnostics{}, false
+	}
+	return sc.Diagnostics(), true
+}
+
 // DefaultControllerConfig returns the configuration used by the
 // paper-scenario experiments.
 func DefaultControllerConfig() ControllerConfig { return core.DefaultConfig() }
