@@ -1,0 +1,313 @@
+package api
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"slaplace/internal/core"
+)
+
+// jsonBytes renders any wire document through its canonical JSON
+// encoder — the comparison currency of the binary tests, because JSON
+// re-encoding is byte-stable and handles NaN (which reflect.DeepEqual
+// and == both mishandle).
+func jsonBytes(t *testing.T, encode func(*bytes.Buffer) error) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestBinarySnapshotRoundTrip: binary encode → decode reproduces the
+// snapshot bit for bit (proven by canonical-JSON equality), the binary
+// form is itself canonical (re-encode is byte-identical), and it is
+// materially smaller than JSON.
+func TestBinarySnapshotRoundTrip(t *testing.T) {
+	st := sampleState(t)
+	snap, err := FromCoreState(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bin bytes.Buffer
+	if err := EncodeSnapshotBinary(&bin, snap); err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := DecodeSnapshotBinary(bytes.NewReader(bin.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantJSON := jsonBytes(t, func(b *bytes.Buffer) error { return EncodeSnapshot(b, snap) })
+	gotJSON := jsonBytes(t, func(b *bytes.Buffer) error { return EncodeSnapshot(b, decoded) })
+	if !bytes.Equal(wantJSON, gotJSON) {
+		t.Errorf("binary round trip altered the snapshot:\n%s\n%s", wantJSON, gotJSON)
+	}
+	var bin2 bytes.Buffer
+	if err := EncodeSnapshotBinary(&bin2, decoded); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(bin.Bytes(), bin2.Bytes()) {
+		t.Error("binary snapshot encoding not canonical across a round trip")
+	}
+	if bin.Len() >= len(wantJSON) {
+		t.Errorf("binary snapshot (%d bytes) not smaller than JSON (%d bytes)", bin.Len(), len(wantJSON))
+	}
+
+	// The planner cannot tell a binary-delivered snapshot from the
+	// original: byte-identical plans.
+	rt, err := decoded.CoreState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := core.New(core.DefaultConfig()).Plan(st).Digest()
+	got := core.New(core.DefaultConfig()).Plan(rt).Digest()
+	if got != want {
+		t.Error("plan digests diverge after binary round trip")
+	}
+}
+
+// TestBinaryPlanRoundTrip: a real controller plan — diagnostics with
+// ±Inf, every map populated — survives the binary wire, and its
+// reconstructed core form digests identically.
+func TestBinaryPlanRoundTrip(t *testing.T) {
+	st := sampleState(t)
+	plan := core.New(core.DefaultConfig()).Plan(st)
+	wire, err := FromCorePlan(st, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bin bytes.Buffer
+	if err := EncodePlanBinary(&bin, wire); err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := DecodePlanBinary(bytes.NewReader(bin.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantJSON := jsonBytes(t, func(b *bytes.Buffer) error { return EncodePlan(b, wire) })
+	gotJSON := jsonBytes(t, func(b *bytes.Buffer) error { return EncodePlan(b, decoded) })
+	if !bytes.Equal(wantJSON, gotJSON) {
+		t.Errorf("binary round trip altered the plan:\n%s\n%s", wantJSON, gotJSON)
+	}
+
+	back, err := decoded.CorePlan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := back.Digest(), plan.Digest(); got != want {
+		t.Errorf("wire-reconstructed plan digest %s != core digest %s", got, want)
+	}
+}
+
+// TestBinaryPlanRequestRoundTrip covers both request shapes (snapshot
+// and delta) plus the shape checks the JSON decoder also enforces.
+func TestBinaryPlanRequestRoundTrip(t *testing.T) {
+	st := sampleState(t)
+	snap, err := FromCoreState(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs := []*PlanRequest{
+		{ClusterID: "c1", Snapshot: snap, Reply: ReplyFull, Shards: 4},
+		{ClusterID: "c2", Delta: &SnapshotDelta{
+			BaseCycle: 3, Now: 2000,
+			Nodes:      []Node{{ID: "n1", CPUMHz: 1000, MemMB: 1000}},
+			UpsertJobs: snap.Jobs[:1],
+			RemoveJobs: []string{"j3"},
+			UpsertApps: snap.Apps[:1],
+			RemoveApps: []string{"overloaded"},
+		}, Reply: ReplyDelta},
+	}
+	for _, req := range reqs {
+		var bin bytes.Buffer
+		if err := EncodePlanRequestBinary(&bin, req); err != nil {
+			t.Fatal(err)
+		}
+		decoded, err := DecodePlanRequestBinary(bytes.NewReader(bin.Bytes()))
+		if err != nil {
+			t.Fatalf("cluster %s: %v", req.ClusterID, err)
+		}
+		wantJSON := jsonBytes(t, func(b *bytes.Buffer) error { return EncodePlanRequest(b, req) })
+		gotJSON := jsonBytes(t, func(b *bytes.Buffer) error { return EncodePlanRequest(b, decoded) })
+		if !bytes.Equal(wantJSON, gotJSON) {
+			t.Errorf("cluster %s: binary round trip altered the request:\n%s\n%s",
+				req.ClusterID, wantJSON, gotJSON)
+		}
+	}
+
+	// Shape violations the decoder must reject, same as the JSON path.
+	both := &PlanRequest{ClusterID: "x", Snapshot: snap,
+		Delta: &SnapshotDelta{BaseCycle: 1, Now: 1}}
+	var bin bytes.Buffer
+	if err := EncodePlanRequestBinary(&bin, both); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodePlanRequestBinary(bytes.NewReader(bin.Bytes())); err == nil {
+		t.Error("request with both snapshot and delta accepted")
+	}
+	bin.Reset()
+	if err := EncodePlanRequestBinary(&bin, &PlanRequest{ClusterID: "x", Snapshot: snap, Reply: "bogus"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodePlanRequestBinary(bytes.NewReader(bin.Bytes())); err == nil {
+		t.Error("unknown reply mode accepted")
+	}
+	bin.Reset()
+	if err := EncodePlanRequestBinary(&bin, &PlanRequest{ClusterID: "x", Snapshot: snap, Shards: MaxShards + 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodePlanRequestBinary(bytes.NewReader(bin.Bytes())); err == nil {
+		t.Error("out-of-range shards accepted")
+	}
+}
+
+// TestBinaryPlanResponseRoundTrip: the response envelope with stats,
+// an embedded plan, and a typed delta.
+func TestBinaryPlanResponseRoundTrip(t *testing.T) {
+	st := sampleState(t)
+	plan := core.New(core.DefaultConfig()).Plan(st)
+	wire, err := FromCorePlan(st, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp := &PlanResponse{
+		ClusterID: "c1", Cycle: 7, PlanMode: "incremental",
+		Stats: &PlanStats{Full: 1, Incremental: 5, Replayed: 1,
+			LastMode: "incremental", LastDemandDeltaMHz: 123.5},
+		Plan:  wire,
+		Delta: wire.Diff(nil),
+	}
+	var bin bytes.Buffer
+	if err := EncodePlanResponseBinary(&bin, resp); err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := DecodePlanResponseBinary(bytes.NewReader(bin.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantJSON := jsonBytes(t, func(b *bytes.Buffer) error { return encode(b, resp) })
+	gotJSON := jsonBytes(t, func(b *bytes.Buffer) error { return encode(b, decoded) })
+	if !bytes.Equal(wantJSON, gotJSON) {
+		t.Errorf("binary round trip altered the response:\n%s\n%s", wantJSON, gotJSON)
+	}
+}
+
+// TestBinaryCheckpointRoundTrip: a full sharded-session checkpoint in
+// both codecs decodes to the same document.
+func TestBinaryCheckpointRoundTrip(t *testing.T) {
+	st := sampleState(t)
+	snap, err := FromCoreState(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := FromCorePlan(st, core.New(core.DefaultConfig()).Plan(st))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck := &Checkpoint{
+		ClusterID: "c1", Controller: "placement", Cycle: 9,
+		HasNow: true, LastNowSec: 1234.5,
+		Shards: 4, ShardBounds: []int{0, 1, 1, 2, 2}, ShardReshards: 3,
+		Snapshot: snap, Plan: plan,
+	}
+	var bin bytes.Buffer
+	if err := EncodeCheckpointBinary(&bin, ck); err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := DecodeCheckpointBinary(bytes.NewReader(bin.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantJSON := jsonBytes(t, func(b *bytes.Buffer) error { return EncodeCheckpoint(b, ck) })
+	gotJSON := jsonBytes(t, func(b *bytes.Buffer) error { return EncodeCheckpoint(b, decoded) })
+	if !bytes.Equal(wantJSON, gotJSON) {
+		t.Errorf("binary round trip altered the checkpoint:\n%s\n%s", wantJSON, gotJSON)
+	}
+
+	// JSON checkpoint codec round-trips too.
+	var js bytes.Buffer
+	if err := EncodeCheckpoint(&js, ck); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeCheckpoint(bytes.NewReader(js.Bytes())); err != nil {
+		t.Fatalf("JSON checkpoint round trip: %v", err)
+	}
+}
+
+func TestCheckpointValidateRejects(t *testing.T) {
+	st := sampleState(t)
+	snap, err := FromCoreState(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := FromCorePlan(st, core.New(core.DefaultConfig()).Plan(st))
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := func() *Checkpoint {
+		return &Checkpoint{SchemaVersion: 1, ClusterID: "c", Cycle: 2,
+			HasNow: true, LastNowSec: 10, Snapshot: snap, Plan: plan}
+	}
+	if err := good().Validate(); err != nil {
+		t.Fatalf("valid checkpoint rejected: %v", err)
+	}
+	mutations := map[string]func(*Checkpoint){
+		"negative cycle":        func(c *Checkpoint) { c.Cycle = -1 },
+		"shards out of range":   func(c *Checkpoint) { c.Shards = MaxShards + 1 },
+		"non-finite watermark":  func(c *Checkpoint) { c.LastNowSec = math.Inf(1) },
+		"snapshot without plan": func(c *Checkpoint) { c.Plan = nil },
+		"planned but empty":     func(c *Checkpoint) { c.Snapshot, c.Plan = nil, nil },
+		"negative bound":        func(c *Checkpoint) { c.ShardBounds = []int{-1, 2} },
+		"non-monotonic bounds":  func(c *Checkpoint) { c.ShardBounds = []int{0, 2, 1} },
+	}
+	for name, mutate := range mutations {
+		c := good()
+		mutate(c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+// TestBinaryDecodeRejects: corrupt framing must fail cleanly, never
+// panic or over-allocate.
+func TestBinaryDecodeRejects(t *testing.T) {
+	st := sampleState(t)
+	snap, err := FromCoreState(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bin bytes.Buffer
+	if err := EncodeSnapshotBinary(&bin, snap); err != nil {
+		t.Fatal(err)
+	}
+	valid := bin.Bytes()
+
+	cases := map[string][]byte{
+		"empty":          {},
+		"short header":   valid[:4],
+		"bad magic":      append([]byte("XXXX"), valid[4:]...),
+		"future format":  append([]byte{'S', 'L', 'P', 'B', 99}, valid[5:]...),
+		"wrong kind":     append([]byte{'S', 'L', 'P', 'B', BinaryFormatVersion, binKindPlan}, valid[6:]...),
+		"truncated body": valid[:len(valid)/2],
+		"trailing bytes": append(append([]byte{}, valid...), 0xFF),
+		// A count claiming 2^60 nodes must be rejected by the
+		// remaining-bytes bound before any allocation.
+		"hostile count": append(append([]byte{}, valid[:15]...), 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x1F),
+	}
+	for name, data := range cases {
+		if _, err := DecodeSnapshotBinary(bytes.NewReader(data)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+
+	// Truncation at every prefix length: no panics, no allocations
+	// explosions — just errors.
+	for i := 0; i < len(valid); i++ {
+		if _, err := DecodeSnapshotBinary(bytes.NewReader(valid[:i])); err == nil {
+			t.Fatalf("prefix of %d/%d bytes accepted", i, len(valid))
+		}
+	}
+}

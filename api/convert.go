@@ -383,6 +383,55 @@ func FromCorePlan(st *core.State, p *core.Plan) (*Plan, error) {
 	return wire, nil
 }
 
+// CorePlan reconstructs the planner's plan form from the wire: actions
+// in emission order and diagnostics bit for bit. It is the inverse of
+// FromCorePlan for everything core.Plan.Digest reads, so a wire-replayed
+// plan sequence can be digest-checked against in-process golden runs
+// (the placement section is derived state and has no core field).
+func (p *Plan) CorePlan() (*core.Plan, error) {
+	cp := &core.Plan{
+		HypotheticalJobUtility: float64(p.Diagnostics.HypotheticalJobUtility),
+		EqualizedUtility:       float64(p.Diagnostics.EqualizedUtility),
+		JobDemand:              res.CPU(float64(p.Diagnostics.JobDemandMHz)),
+		JobTarget:              res.CPU(float64(p.Diagnostics.JobTargetMHz)),
+	}
+	if len(p.Actions) > 0 {
+		cp.Actions = make([]core.Action, len(p.Actions))
+		for i, wa := range p.Actions {
+			act, err := wa.CoreAction()
+			if err != nil {
+				return nil, err
+			}
+			cp.Actions[i] = act
+		}
+	}
+	if len(p.Diagnostics.ClassHypoUtility) > 0 {
+		cp.ClassHypoUtility = make(map[string]float64, len(p.Diagnostics.ClassHypoUtility))
+		for k, v := range p.Diagnostics.ClassHypoUtility {
+			cp.ClassHypoUtility[k] = float64(v)
+		}
+	}
+	if len(p.Diagnostics.AppPrediction) > 0 {
+		cp.AppPrediction = make(map[trans.AppID]float64, len(p.Diagnostics.AppPrediction))
+		for k, v := range p.Diagnostics.AppPrediction {
+			cp.AppPrediction[trans.AppID(k)] = float64(v)
+		}
+	}
+	if len(p.Diagnostics.AppDemandMHz) > 0 {
+		cp.AppDemand = make(map[trans.AppID]res.CPU, len(p.Diagnostics.AppDemandMHz))
+		for k, v := range p.Diagnostics.AppDemandMHz {
+			cp.AppDemand[trans.AppID(k)] = res.CPU(float64(v))
+		}
+	}
+	if len(p.Diagnostics.AppTargetMHz) > 0 {
+		cp.AppTarget = make(map[trans.AppID]res.CPU, len(p.Diagnostics.AppTargetMHz))
+		for k, v := range p.Diagnostics.AppTargetMHz {
+			cp.AppTarget[trans.AppID(k)] = res.CPU(float64(v))
+		}
+	}
+	return cp, nil
+}
+
 func floatMapWire(m map[string]float64) map[string]Float {
 	if len(m) == 0 {
 		return nil

@@ -23,6 +23,9 @@
 // planning beats cold K=1 by 1.5x". Ratios compare two medians of the
 // same run on the same host, so they hold machine-independently where
 // absolute tolerances cannot; -update carries them over untouched.
+// A hand-authored "ungated" list names metric series (typically tail
+// percentiles from b.ReportMetric) that are tracked and reported but
+// never fail the gate.
 //
 // When $GITHUB_STEP_SUMMARY is set (or -summary points at a file), the
 // gate appends a per-benchmark markdown delta table — old vs new
@@ -54,6 +57,11 @@ type Baseline struct {
 	// over verbatim by -update (a re-baseline must not silently drop a
 	// guarantee).
 	RatioGates []RatioGate `json:"ratio_gates,omitempty"`
+	// Ungated names metric series that are tracked and reported (delta
+	// table, medians JSON) but never fail the gate — tail-latency
+	// percentiles whose run-to-run spread on a shared host exceeds any
+	// sane tolerance. Hand-authored; carried over by -update.
+	Ungated []string `json:"ungated,omitempty"`
 }
 
 // RatioGate asserts that Num's median ns/op divided by Den's is at
@@ -104,14 +112,23 @@ func checkRatios(gates []RatioGate, fresh map[string]float64, procs int) []strin
 	return bad
 }
 
-// benchLine matches one `go test -bench` result line.
-var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+\d+\s+([0-9.]+) ns/op`)
+// benchLine matches one `go test -bench` result line: name, iteration
+// count, then one or more "<value> <unit>" metric pairs.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+\d+\s+(.+)$`)
+
+// metricPair matches one "<value> <unit>" pair in a result line —
+// the standard ns/op plus any custom b.ReportMetric units (p99-ns,
+// sessions, ...).
+var metricPair = regexp.MustCompile(`([0-9.]+(?:[eE][+-]?[0-9]+)?) (\S+)`)
 
 // cpuSuffix is the trailing -GOMAXPROCS tag go test appends to names.
 var cpuSuffix = regexp.MustCompile(`-\d+$`)
 
-// parseBenchOutput collects every ns/op sample per (suffix-stripped)
-// benchmark name from go test -bench output.
+// parseBenchOutput collects every metric sample per (suffix-stripped)
+// benchmark name from go test -bench output. The ns/op metric keeps
+// the bare benchmark name; custom b.ReportMetric units are tracked —
+// and therefore gated — as "<name>:<unit>" (e.g. a many-tenant p99
+// gates as BenchmarkManyTenantServe:p99-ns).
 func parseBenchOutput(out string) map[string][]float64 {
 	samples := map[string][]float64{}
 	for _, line := range strings.Split(out, "\n") {
@@ -119,12 +136,18 @@ func parseBenchOutput(out string) map[string][]float64 {
 		if m == nil {
 			continue
 		}
-		v, err := strconv.ParseFloat(m[2], 64)
-		if err != nil {
-			continue
-		}
 		name := cpuSuffix.ReplaceAllString(m[1], "")
-		samples[name] = append(samples[name], v)
+		for _, pm := range metricPair.FindAllStringSubmatch(m[2], -1) {
+			v, err := strconv.ParseFloat(pm[1], 64)
+			if err != nil {
+				continue
+			}
+			key := name
+			if pm[2] != "ns/op" {
+				key = name + ":" + pm[2]
+			}
+			samples[key] = append(samples[key], v)
+		}
 	}
 	return samples
 }
@@ -269,8 +292,13 @@ func shardSweepTable(baseline, fresh map[string]float64) string {
 // compare gates fresh medians against a baseline: any median above
 // old*(1+tolerance), or any baseline benchmark missing from the run,
 // is a regression. New benchmarks absent from the baseline pass (they
-// enter the baseline on the next -update).
-func compare(baseline, fresh map[string]float64, tolerance float64) []regression {
+// enter the baseline on the next -update); series named in ungated
+// are reported but never fail.
+func compare(baseline, fresh map[string]float64, tolerance float64, ungated []string) []regression {
+	skip := map[string]bool{}
+	for _, name := range ungated {
+		skip[name] = true
+	}
 	var regs []regression
 	names := make([]string, 0, len(baseline))
 	for name := range baseline {
@@ -278,6 +306,9 @@ func compare(baseline, fresh map[string]float64, tolerance float64) []regression
 	}
 	sort.Strings(names)
 	for _, name := range names {
+		if skip[name] {
+			continue
+		}
 		old := baseline[name]
 		now, ok := fresh[name]
 		switch {
@@ -292,7 +323,7 @@ func compare(baseline, fresh map[string]float64, tolerance float64) []regression
 
 func main() {
 	var (
-		bench = flag.String("bench", "BenchmarkPlacementScale|BenchmarkServePlan|BenchmarkShardedPlacement", "benchmark regex to run")
+		bench = flag.String("bench", "BenchmarkPlacementScale|BenchmarkServePlan|BenchmarkShardedPlacement|BenchmarkServeCheckpoint|BenchmarkManyTenantServe", "benchmark regex to run")
 		pkg   = flag.String("pkg", ".", "package pattern holding the benchmarks")
 		// Time-based so micro-shapes get hundreds of iterations (stable
 		// medians) while the 2000-node shape still runs just once or
@@ -346,7 +377,7 @@ func main() {
 	}
 
 	doc := Baseline{Bench: *bench, Benchtime: *benchtime, Count: *count,
-		Medians: fresh, RatioGates: base.RatioGates}
+		Medians: fresh, RatioGates: base.RatioGates, Ungated: base.Ungated}
 	writeTo := *out
 	if *update {
 		writeTo = *baseline
@@ -380,7 +411,7 @@ func main() {
 		}
 	}
 
-	regs := compare(base.Medians, fresh, *tolerance)
+	regs := compare(base.Medians, fresh, *tolerance, base.Ungated)
 	names := make([]string, 0, len(fresh))
 	for name := range fresh {
 		names = append(names, name)

@@ -16,14 +16,15 @@ BenchmarkPlacementScale/cold/nodes=10/jobs=30-8         	      78	  16000000 ns/
 BenchmarkPlacementScale/steady/nodes=500/jobs=5000-8    	       5	   6613676 ns/op
 some unrelated line
 BenchmarkPlacementScale/steady/nodes=500/jobs=5000-8    	       5	   6500000 ns/op
+BenchmarkManyTenantServe-8                              	    2000	    321056 ns/op	   8002096 p99-ns	      1000 sessions
 PASS
 ok  	slaplace	5.1s
 `
 
 func TestParseBenchOutput(t *testing.T) {
 	samples := parseBenchOutput(sampleOutput)
-	if len(samples) != 2 {
-		t.Fatalf("parsed %d benchmarks, want 2: %v", len(samples), samples)
+	if len(samples) != 5 {
+		t.Fatalf("parsed %d metric series, want 5: %v", len(samples), samples)
 	}
 	cold := samples["BenchmarkPlacementScale/cold/nodes=10/jobs=30"]
 	if len(cold) != 3 {
@@ -35,6 +36,16 @@ func TestParseBenchOutput(t *testing.T) {
 	steady := samples["BenchmarkPlacementScale/steady/nodes=500/jobs=5000"]
 	if len(steady) != 2 {
 		t.Fatalf("steady samples = %v", steady)
+	}
+	// Custom b.ReportMetric units are tracked as "<name>:<unit>".
+	if got := samples["BenchmarkManyTenantServe"]; len(got) != 1 || got[0] != 321056 {
+		t.Errorf("many-tenant ns/op samples = %v", got)
+	}
+	if got := samples["BenchmarkManyTenantServe:p99-ns"]; len(got) != 1 || got[0] != 8002096 {
+		t.Errorf("p99-ns samples = %v", got)
+	}
+	if got := samples["BenchmarkManyTenantServe:sessions"]; len(got) != 1 || got[0] != 1000 {
+		t.Errorf("sessions samples = %v", got)
 	}
 }
 
@@ -67,7 +78,7 @@ func TestCompareGates(t *testing.T) {
 		// c missing: regression
 		"d": 999, // new: allowed
 	}
-	regs := compare(base, fresh, 0.20)
+	regs := compare(base, fresh, 0.20, nil)
 	if len(regs) != 2 {
 		t.Fatalf("regressions = %v, want 2", regs)
 	}
@@ -80,8 +91,12 @@ func TestCompareGates(t *testing.T) {
 	if regs[0].New != 130 || regs[0].Old != 100 {
 		t.Errorf("regression values wrong: %+v", regs[0])
 	}
-	if got := compare(base, map[string]float64{"a": 100, "b": 100, "c": 119.9}, 0.20); len(got) != 0 {
+	if got := compare(base, map[string]float64{"a": 100, "b": 100, "c": 119.9}, 0.20, nil); len(got) != 0 {
 		t.Errorf("false positives: %v", got)
+	}
+	// Ungated series never fail, even when missing from the run.
+	if got := compare(base, fresh, 0.20, []string{"b", "c"}); len(got) != 0 {
+		t.Errorf("ungated series gated anyway: %v", got)
 	}
 }
 

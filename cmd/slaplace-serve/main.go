@@ -5,18 +5,28 @@
 // cluster ID, so one daemon serves many clusters, each keeping the
 // controller's incremental re-planning state warm across requests.
 //
+// With -state-dir the daemon is durable: every session checkpoints its
+// minimal restart state there (atomically, per -checkpoint-every), and
+// sessions come back — plan sequences byte-identical — after kill -9.
+// Checkpoints also travel: GET /v1/sessions/{cluster}/checkpoint
+// exports one, PUT restores it into another daemon.
+//
 // Usage:
 //
-//	slaplace-serve -addr :8080
+//	slaplace-serve -addr :8080 -state-dir /var/lib/slaplace
 //
 // Try it:
 //
 //	curl -s localhost:8080/v1/healthz
 //	curl -s -X POST localhost:8080/v1/plan -d @snapshot.json
 //	curl -s localhost:8080/v1/stats
+//	curl -s localhost:8080/v1/sessions/default/checkpoint
 //
-// See the api package for the wire schema and examples/serve for a
-// complete client walkthrough.
+// Clients may negotiate the compact binary codec per request with
+// "Content-Type: application/x-slaplace-binary" (request body) and
+// "Accept: application/x-slaplace-binary" (response); JSON remains the
+// default. See the api package for the wire schema and examples/serve
+// for a complete client walkthrough.
 package main
 
 import (
@@ -24,6 +34,7 @@ import (
 	"errors"
 	"flag"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -37,9 +48,11 @@ import (
 
 func main() {
 	var (
-		addr        = flag.String("addr", ":8080", "listen address")
+		addr        = flag.String("addr", ":8080", "listen address (use port 0 for an ephemeral port; the bound address is logged)")
 		maxSessions = flag.Int("max-sessions", 0, "maximum concurrent cluster sessions (0 = unlimited)")
 		maxBody     = flag.Int64("max-body-bytes", serve.DefaultMaxBodyBytes, "maximum request body size in bytes")
+		stateDir    = flag.String("state-dir", "", "directory for durable session checkpoints (empty = not durable)")
+		ckEvery     = flag.Int("checkpoint-every", 1, "cycles between checkpoint writes per session (with -state-dir)")
 
 		incremental = flag.Bool("incremental", true, "reuse plans across cycles when provably unchanged")
 		churnAware  = flag.Bool("churn-aware", true, "keep running jobs in place when possible")
@@ -56,16 +69,30 @@ func main() {
 	if err := cfg.Validate(); err != nil {
 		log.Fatalf("slaplace-serve: %v", err)
 	}
+	if *stateDir != "" {
+		if err := os.MkdirAll(*stateDir, 0o755); err != nil {
+			log.Fatalf("slaplace-serve: state dir: %v", err)
+		}
+	}
 
 	srv := serve.New(serve.Options{
-		NewController: func() core.Controller { return core.New(cfg) },
-		MaxSessions:   *maxSessions,
-		MaxBodyBytes:  *maxBody,
+		NewController:   func() core.Controller { return core.New(cfg) },
+		MaxSessions:     *maxSessions,
+		MaxBodyBytes:    *maxBody,
+		StateDir:        *stateDir,
+		CheckpointEvery: *ckEvery,
+		Logf:            log.Printf,
 	})
 	httpSrv := &http.Server{
-		Addr:              *addr,
 		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	// Listen before announcing so "-addr 127.0.0.1:0" logs the port the
+	// kernel actually picked — scripts (and the e2e test) parse it.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("slaplace-serve: %v", err)
 	}
 
 	sigs := make(chan os.Signal, 1)
@@ -81,11 +108,11 @@ func main() {
 		}
 	}()
 
-	log.Printf("slaplace-serve: listening on %s (schema v%d)", *addr, api.SchemaVersion)
-	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+	log.Printf("slaplace-serve: listening on %s (schema v%d)", ln.Addr(), api.SchemaVersion)
+	if err := httpSrv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatalf("slaplace-serve: %v", err)
 	}
-	// ListenAndServe returns the instant Shutdown begins; wait for the
-	// drain to finish so in-flight plans complete before exit.
+	// Serve returns the instant Shutdown begins; wait for the drain to
+	// finish so in-flight plans complete before exit.
 	<-drained
 }

@@ -1,7 +1,9 @@
 // Serving mode walkthrough: run the placement controller as a
 // decision service and drive it the way an external cluster manager
 // would — full snapshot first, then steady-state deltas, enacting the
-// typed action deltas each response carries.
+// typed action deltas each response carries; then the compact binary
+// codec, and a checkpoint exported from one daemon and restored into
+// another, continuing the plan sequence byte for byte.
 //
 //	go run ./examples/serve
 //
@@ -149,6 +151,76 @@ func main() {
 	}
 	fmt.Printf("cycle %d planned in mode %q, stats %+v\n", resp2.Cycle, resp2.PlanMode, *resp2.Stats)
 	printActions("delta vs previous plan", resp2.Delta)
+
+	// Steady state can also drop the JSON overhead: the same request in
+	// the compact binary codec, negotiated per request by Content-Type
+	// and Accept. The response bytes differ; the plan does not.
+	var bin bytes.Buffer
+	if err := api.EncodePlanRequestBinary(&bin, &api.PlanRequest{
+		ClusterID: "prod-eu",
+		Delta:     &api.SnapshotDelta{BaseCycle: resp2.Cycle, Now: 1200},
+		Reply:     api.ReplyDelta,
+	}); err != nil {
+		log.Fatal(err)
+	}
+	binReq, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/plan", &bin)
+	if err != nil {
+		log.Fatal(err)
+	}
+	binReq.Header.Set("Content-Type", "application/x-slaplace-binary")
+	binReq.Header.Set("Accept", "application/x-slaplace-binary")
+	binHTTP, err := http.DefaultClient.Do(binReq)
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp3, err := api.DecodePlanResponseBinary(binHTTP.Body)
+	binHTTP.Body.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("cycle %d over the binary codec: mode %q (replayed — no drift)\n\n",
+		resp3.Cycle, resp3.PlanMode)
+
+	// Durability: export the session's checkpoint — everything another
+	// daemon (or this one, after kill -9 with -state-dir) needs to
+	// continue the plan sequence byte for byte.
+	ckResp, err := http.Get(ts.URL + "/v1/sessions/prod-eu/checkpoint")
+	if err != nil {
+		log.Fatal(err)
+	}
+	ck, err := api.DecodeCheckpoint(ckResp.Body)
+	ckResp.Body.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("checkpoint: cluster %q at cycle %d, controller %q\n",
+		ck.ClusterID, ck.Cycle, ck.Controller)
+
+	// Restore it into a second daemon (the migration path) and keep
+	// planning there: the sequence continues as if nothing happened.
+	daemon2 := httptest.NewServer(serve.New(serve.Options{}).Handler())
+	defer daemon2.Close()
+	var ckBuf bytes.Buffer
+	if err := api.EncodeCheckpoint(&ckBuf, ck); err != nil {
+		log.Fatal(err)
+	}
+	putReq, err := http.NewRequest(http.MethodPut,
+		daemon2.URL+"/v1/sessions/prod-eu/checkpoint", &ckBuf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	putResp, err := http.DefaultClient.Do(putReq)
+	if err != nil {
+		log.Fatal(err)
+	}
+	putResp.Body.Close()
+	resp4, err := post(daemon2.URL, &api.PlanRequest{
+		ClusterID: "prod-eu", Snapshot: snapshot(1800, 40),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("migrated daemon: cycle %d planned in mode %q\n\n", resp4.Cycle, resp4.PlanMode)
 
 	// The same conversation, in process: a Session owns the controller
 	// across Propose calls and returns byte-identical plans.

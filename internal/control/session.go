@@ -159,6 +159,87 @@ func (s *Session) cycle(b ClusterBackend, rec *metrics.Recorder, t0, now float64
 	return plan, stats
 }
 
+// Export captures the session's durable state as a wire checkpoint:
+// the cycle counter, the time watermark, and the last snapshot/plan
+// pair of the wire path. The controller's in-memory machinery is not
+// serialized — it is a deterministic function of the planned snapshot
+// sequence, so RestoreSession rebuilds it by re-planning the exported
+// snapshot. Sessions driven through Cycle (an in-process backend, no
+// wire state) export a counters-only checkpoint.
+func (s *Session) Export() (*api.Checkpoint, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ck := &api.Checkpoint{
+		SchemaVersion: api.SchemaVersion,
+		Controller:    s.ctrl.Name(),
+		Cycle:         s.cycles,
+		HasNow:        s.hasNow,
+		LastNowSec:    s.lastNow,
+	}
+	if s.wire != nil && s.wire.LastState() != nil {
+		snap, err := api.FromCoreState(s.wire.LastState())
+		if err != nil {
+			return nil, fmt.Errorf("control: export snapshot: %w", err)
+		}
+		plan, err := api.FromCorePlan(s.wire.LastState(), s.wire.LastPlan())
+		if err != nil {
+			return nil, fmt.Errorf("control: export plan: %w", err)
+		}
+		ck.Snapshot, ck.Plan = snap, plan
+	} else if s.cycles > 0 {
+		return nil, fmt.Errorf("control: session has no wire state to checkpoint (driven through Cycle?)")
+	}
+	return ck, nil
+}
+
+// ErrCheckpointMismatch rejects a restore whose warm re-plan does not
+// reproduce the checkpointed plan — the restoring controller is not
+// configured like the one that produced the checkpoint, and continuing
+// would silently diverge the cluster.
+var ErrCheckpointMismatch = errors.New("control: restored controller does not reproduce the checkpointed plan")
+
+// RestoreSession rebuilds a session from a checkpoint onto a fresh
+// controller. The exported snapshot is re-planned once, which warms
+// the controller's incremental state to exactly what it held when the
+// checkpoint was taken (identical next snapshots replay, drifted ones
+// go incremental); the re-planned output is digest-checked against the
+// checkpointed plan, so a mis-configured controller is caught here
+// instead of corrupting the cluster. Sharded controllers must have
+// their partition bounds restored before this call.
+func RestoreSession(ctrl core.Controller, ck *api.Checkpoint) (*Session, error) {
+	if err := ck.Validate(); err != nil {
+		return nil, err
+	}
+	s, err := NewSession(ctrl)
+	if err != nil {
+		return nil, err
+	}
+	if ck.Controller != "" && ck.Controller != ctrl.Name() {
+		return nil, fmt.Errorf("control: checkpoint is from controller %q, restoring onto %q",
+			ck.Controller, ctrl.Name())
+	}
+	if ck.Snapshot != nil {
+		st, err := ck.Snapshot.CoreState()
+		if err != nil {
+			return nil, fmt.Errorf("control: checkpoint snapshot: %w", err)
+		}
+		s.wire = &WireBackend{}
+		s.wire.Push(st)
+		plan, _ := s.plan(st)
+		s.wire.Enact(plan)
+		want, err := ck.Plan.CorePlan()
+		if err != nil {
+			return nil, fmt.Errorf("control: checkpoint plan: %w", err)
+		}
+		if plan.Digest() != want.Digest() {
+			return nil, ErrCheckpointMismatch
+		}
+	}
+	s.cycles = ck.Cycle
+	s.hasNow, s.lastNow = ck.HasNow, ck.LastNowSec
+	return s, nil
+}
+
 // Propose plans against a full wire snapshot and returns the wire
 // plan. The session retains the decoded state, so subsequent calls may
 // send a SnapshotDelta via ProposeDelta instead. Snapshot time must

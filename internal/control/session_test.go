@@ -268,6 +268,175 @@ func (fcfsLike) Plan(st *core.State) *core.Plan {
 	return plan
 }
 
+// TestSessionExportRestore: a checkpointed session, restored onto a
+// fresh controller through the wire codec, continues the plan sequence
+// byte for byte — the replay and carry-over tiers come back warm — and
+// keeps enforcing its cycle counter and time watermark.
+func TestSessionExportRestore(t *testing.T) {
+	st := steadyState(t, 4, 20)
+	ref, err := NewSession(core.New(core.DefaultConfig()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim, err := NewSession(core.New(core.DefaultConfig()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Three drifting cycles on both sessions.
+	for cycle := 0; cycle < 3; cycle++ {
+		st.Apps[0].Lambda = 65 + float64(cycle)
+		st.Now += 100
+		if _, _, err := ref.Propose(wireSnapshot(t, st)); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := victim.Propose(wireSnapshot(t, st)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Checkpoint the victim and push it through the wire codec — what a
+	// daemon writes to disk is what another daemon reads back.
+	ck, err := victim.Export()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := api.EncodeCheckpoint(&buf, ck); err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := api.DecodeCheckpoint(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := RestoreSession(core.New(core.DefaultConfig()), decoded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Cycles() != victim.Cycles() {
+		t.Errorf("restored cycles %d, want %d", restored.Cycles(), victim.Cycles())
+	}
+
+	// Identical snapshot: the replay tier is warm.
+	_, stats, err := restored.Propose(wireSnapshot(t, st))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.LastMode != core.PlanReplayed {
+		t.Errorf("restored session planned identical snapshot in mode %v, want replayed", stats.LastMode)
+	}
+	if _, _, err := ref.Propose(wireSnapshot(t, st)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Drifting snapshots: byte-identical continuation vs the session
+	// that never restarted, through the carry-over tier.
+	for cycle := 0; cycle < 3; cycle++ {
+		st.Apps[0].Lambda = 70 + float64(cycle)
+		st.Now += 100
+		got, gotStats, err := restored.Propose(wireSnapshot(t, st))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _, err := ref.Propose(wireSnapshot(t, st))
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, _ := json.Marshal(got)
+		b, _ := json.Marshal(want)
+		if !bytes.Equal(a, b) {
+			t.Fatalf("cycle %d after restore: plans diverge", cycle)
+		}
+		if gotStats.LastMode != core.PlanIncremental {
+			t.Errorf("cycle %d after restore planned in mode %v, want incremental", cycle, gotStats.LastMode)
+		}
+	}
+
+	// The time watermark survived: snapshots cannot move backwards.
+	st.Now -= 10000
+	if _, _, err := restored.Propose(wireSnapshot(t, st)); !errors.Is(err, ErrTimeRegression) {
+		t.Errorf("backwards snapshot after restore: %v", err)
+	}
+
+	// A delta against the restored base plans fine.
+	st.Now += 20000
+	drifted := wireSnapshot(t, st)
+	if _, _, err := restored.ProposeDelta(&api.SnapshotDelta{
+		BaseCycle:  restored.Cycles(),
+		Now:        st.Now,
+		UpsertApps: []api.App{drifted.Apps[0]},
+	}); err != nil {
+		t.Fatalf("delta after restore: %v", err)
+	}
+}
+
+// TestSessionRestoreRejects: the restore path refuses checkpoints it
+// cannot faithfully continue.
+func TestSessionRestoreRejects(t *testing.T) {
+	st := steadyState(t, 4, 12)
+	sess, err := NewSession(core.New(core.DefaultConfig()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := sess.Propose(wireSnapshot(t, st)); err != nil {
+		t.Fatal(err)
+	}
+	ck, err := sess.Export()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Wrong controller by name.
+	if _, err := RestoreSession(fcfsLike{}, ck); err == nil {
+		t.Error("restore onto a differently-named controller accepted")
+	}
+	// Wrong controller by behavior: same checkpoint, name check
+	// bypassed — the re-planned digest must catch it.
+	anon := *ck
+	anon.Controller = ""
+	if _, err := RestoreSession(fcfsLike{}, &anon); !errors.Is(err, ErrCheckpointMismatch) {
+		t.Errorf("behavioral mismatch: %v", err)
+	}
+	// Invalid checkpoints are rejected before any planning.
+	bad := *ck
+	bad.Cycle = -1
+	if _, err := RestoreSession(core.New(core.DefaultConfig()), &bad); err == nil {
+		t.Error("invalid checkpoint accepted")
+	}
+
+	// A fresh, never-planned session round-trips as a counters-only
+	// checkpoint.
+	fresh, err := NewSession(core.New(core.DefaultConfig()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck0, err := fresh.Export()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ck0.Cycle != 0 || ck0.Snapshot != nil {
+		t.Errorf("fresh checkpoint: %+v", ck0)
+	}
+	back, err := RestoreSession(core.New(core.DefaultConfig()), ck0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := back.Propose(wireSnapshot(t, st)); err != nil {
+		t.Fatalf("restored fresh session cannot plan: %v", err)
+	}
+
+	// Sessions driven through Cycle have no wire state to checkpoint.
+	cycled, err := NewSession(core.New(core.DefaultConfig()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wb := &WireBackend{}
+	wb.Push(st)
+	cycled.Cycle(wb, nil, 0, st.Now)
+	if _, err := cycled.Export(); err == nil {
+		t.Error("Cycle-driven session exported a checkpoint with no wire state")
+	}
+}
+
 // TestSessionShardedController: a Session owns a sharded controller
 // behind the unchanged Propose API. K=1 must be byte-identical to a
 // plain session; K>1 must plan deterministically, report aggregated

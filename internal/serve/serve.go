@@ -2,7 +2,7 @@
 // cmd/slaplace-serve: an HTTP front end that multiplexes long-lived
 // planning sessions (internal/control.Session) keyed by cluster ID.
 //
-// Endpoints (all JSON, schema in package api):
+// Endpoints (schema in package api):
 //
 //	POST /v1/plan     plan one cycle for a cluster. The body is an
 //	                  api.PlanRequest: a full snapshot, or a delta
@@ -13,14 +13,36 @@
 //	GET  /v1/healthz  liveness plus schema version and session count.
 //	GET  /v1/stats    per-session cycle and plan-reuse statistics.
 //
+//	GET  /v1/sessions/{cluster}/checkpoint
+//	                  export the cluster's session as an api.Checkpoint
+//	                  — everything another daemon needs to continue the
+//	                  plan sequence byte for byte.
+//	PUT  /v1/sessions/{cluster}/checkpoint
+//	                  restore a checkpoint as a new session (409 when
+//	                  the cluster already has one) — the migration path
+//	                  between replicas.
+//
+// Documents are JSON by default; a client may negotiate the compact
+// binary codec per request ("Content-Type: application/x-slaplace-binary"
+// for the body it sends, "Accept: ..." for the response it wants). The
+// two codecs are bit-equivalent — plans cannot differ by transport.
+//
 // Sessions are created on first use per cluster ID and retain the
 // controller's incremental state across requests — a steady-state
 // cluster pays the carry-over re-plan price, not the from-scratch
 // price, on every cycle. Requests for the same cluster serialize on a
-// per-session lock; distinct clusters plan concurrently. A plan
-// request may carry a "shards" hint: the session created from it
+// per-session lock; distinct clusters plan concurrently (session
+// creation does its heavy work outside the server's session-table
+// lock, so a thousand clusters can come up without queueing on it). A
+// plan request may carry a "shards" hint: the session created from it
 // plans the cluster as that many concurrent partitions
 // (internal/shard) — the scale mode for 10k+-node snapshots.
+//
+// With Options.StateDir set the daemon is durable: each session's
+// checkpoint is written there (atomically, every CheckpointEvery
+// cycles) and sessions are restored from it on first use after a
+// restart — kill -9 loses nothing but the cycles since the last
+// checkpoint write.
 package serve
 
 import (
@@ -29,7 +51,9 @@ import (
 	"fmt"
 	"net/http"
 	"sort"
+	"strings"
 	"sync"
+	"sync/atomic"
 
 	"slaplace/api"
 	"slaplace/internal/control"
@@ -51,6 +75,15 @@ type Options struct {
 	MaxSessions int
 	// MaxBodyBytes caps a request body; 0 means DefaultMaxBodyBytes.
 	MaxBodyBytes int64
+	// StateDir, when set, makes sessions durable: checkpoints are
+	// written there and restored from there on first use. Must exist.
+	StateDir string
+	// CheckpointEvery is the cycle interval between automatic
+	// checkpoint writes when StateDir is set; 0 means every cycle.
+	CheckpointEvery int
+	// Logf logs operational events (corrupt state files, checkpoint
+	// write failures). nil discards.
+	Logf func(format string, args ...any)
 }
 
 // Server multiplexes planning sessions keyed by cluster ID.
@@ -62,16 +95,26 @@ type Server struct {
 }
 
 // clusterSession is one hosted session plus what the wire protocol
-// layers on top: the previous wire plan (for response deltas), under a
-// lock that serializes requests for the same cluster.
+// layers on top: the previous wire plan (for response deltas) and the
+// checkpoint bookkeeping, under a lock that serializes requests for
+// the same cluster. The zero value is a placeholder: the creating
+// request initializes it through once, outside the server's session-
+// table lock, and ready flips only on success.
 type clusterSession struct {
+	once    sync.Once
+	initErr error
+	ready   atomic.Bool
+
 	mu     sync.Mutex
 	sess   *control.Session
 	shards int // partition count when planning sharded, else 0
 	// sharded is the session's shard controller when shards > 0 (the
-	// stats endpoint reads its partition diagnostics).
+	// stats endpoint reads its partition diagnostics; checkpoints carry
+	// its boundary state).
 	sharded *shard.Controller
 	prev    *api.Plan
+	// ckCycle is the session cycle of the last checkpoint write.
+	ckCycle int
 }
 
 // New builds a server.
@@ -82,7 +125,16 @@ func New(opts Options) *Server {
 	if opts.MaxBodyBytes == 0 {
 		opts.MaxBodyBytes = DefaultMaxBodyBytes
 	}
+	if opts.CheckpointEvery < 1 {
+		opts.CheckpointEvery = 1
+	}
 	return &Server{opts: opts, sessions: make(map[string]*clusterSession)}
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.opts.Logf != nil {
+		s.opts.Logf(format, args...)
+	}
 }
 
 // Handler returns the daemon's HTTP handler.
@@ -91,22 +143,69 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/plan", s.handlePlan)
 	mux.HandleFunc("/v1/healthz", s.handleHealthz)
 	mux.HandleFunc("/v1/stats", s.handleStats)
+	mux.HandleFunc("GET /v1/sessions/{cluster}/checkpoint", s.handleCheckpointGet)
+	mux.HandleFunc("PUT /v1/sessions/{cluster}/checkpoint", s.handleCheckpointPut)
 	return mux
 }
 
-// session returns the cluster's session, creating it on first use.
-// shards is the request's sharding hint: a session created with
-// shards > 1 plans the cluster as that many concurrent partitions
-// (internal/shard). The hint binds at creation; later requests for
-// the same cluster keep the session's original shape.
-func (s *Server) session(clusterID string, shards int) (*clusterSession, error) {
+// session returns the cluster's session, creating (and, with a state
+// dir, restoring) it on first use. shards is the request's sharding
+// hint: a session created with shards > 1 plans the cluster as that
+// many concurrent partitions (internal/shard); a restored checkpoint's
+// own shard count wins over the hint. The shape binds at creation;
+// later requests for the same cluster keep it.
+//
+// Only the session-table insert runs under the server lock. The
+// expensive part — building the controller, and on restore re-planning
+// the checkpointed snapshot — runs outside it, once, with concurrent
+// requests for the same new cluster waiting on the session's own init
+// and requests for other clusters unaffected.
+func (s *Server) session(clusterID string, shards int) (*clusterSession, int, error) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	if cs, ok := s.sessions[clusterID]; ok {
-		return cs, nil
+	cs, ok := s.sessions[clusterID]
+	if !ok {
+		if s.opts.MaxSessions > 0 && len(s.sessions) >= s.opts.MaxSessions {
+			s.mu.Unlock()
+			return nil, http.StatusTooManyRequests,
+				fmt.Errorf("serve: session limit %d reached", s.opts.MaxSessions)
+		}
+		cs = &clusterSession{}
+		s.sessions[clusterID] = cs
 	}
-	if s.opts.MaxSessions > 0 && len(s.sessions) >= s.opts.MaxSessions {
-		return nil, fmt.Errorf("serve: session limit %d reached", s.opts.MaxSessions)
+	s.mu.Unlock()
+
+	cs.once.Do(func() { cs.initErr = s.initSession(cs, clusterID, shards) })
+	if cs.initErr != nil {
+		// Evict the failed placeholder so a later request can retry.
+		s.mu.Lock()
+		if s.sessions[clusterID] == cs {
+			delete(s.sessions, clusterID)
+		}
+		s.mu.Unlock()
+		return nil, http.StatusInternalServerError, cs.initErr
+	}
+	return cs, http.StatusOK, nil
+}
+
+// initSession builds a placeholder session's controller and state:
+// from the state-dir checkpoint when one exists and is usable, fresh
+// otherwise. A corrupt or mismatched checkpoint is logged and ignored
+// — a daemon must come up after a crash even if the disk lost a race
+// with it.
+func (s *Server) initSession(cs *clusterSession, clusterID string, shards int) error {
+	if s.opts.StateDir != "" {
+		ck, err := s.readCheckpoint(clusterID)
+		switch {
+		case err != nil:
+			s.logf("serve: checkpoint for %q unreadable, starting fresh: %v", clusterID, err)
+		case ck != nil:
+			if err := s.restoreInto(cs, ck); err != nil {
+				s.logf("serve: checkpoint for %q unusable, starting fresh: %v", clusterID, err)
+			} else {
+				cs.ready.Store(true)
+				return nil
+			}
+		}
 	}
 	var ctrl core.Controller
 	var sharded *shard.Controller
@@ -119,23 +218,64 @@ func (s *Server) session(clusterID string, shards int) (*clusterSession, error) 
 	}
 	sess, err := control.NewSession(ctrl)
 	if err != nil {
-		return nil, err
+		return err
 	}
-	cs := &clusterSession{sess: sess, shards: shards, sharded: sharded}
-	s.sessions[clusterID] = cs
-	return cs, nil
+	cs.sess, cs.shards, cs.sharded = sess, shards, sharded
+	cs.ready.Store(true)
+	return nil
 }
 
-// httpError writes a JSON error body.
+// restoreInto rebuilds a session from a checkpoint: the sharded
+// partition boundaries first (they must be staged before the restore
+// re-plan), then the control session — which re-plans the checkpointed
+// snapshot to warm the controller and digest-checks the result against
+// the checkpointed plan.
+func (s *Server) restoreInto(cs *clusterSession, ck *api.Checkpoint) error {
+	var ctrl core.Controller
+	var sharded *shard.Controller
+	shards := ck.Shards
+	if shards > 1 {
+		sharded = shard.New(shard.Config{Shards: shards, NewController: s.opts.NewController})
+		if err := sharded.RestoreBounds(ck.ShardBounds, ck.ShardReshards); err != nil {
+			return err
+		}
+		ctrl = sharded
+	} else {
+		ctrl = s.opts.NewController()
+		shards = 0
+	}
+	sess, err := control.RestoreSession(ctrl, ck)
+	if err != nil {
+		return err
+	}
+	cs.sess, cs.shards, cs.sharded = sess, shards, sharded
+	cs.prev = ck.Plan
+	cs.ckCycle = ck.Cycle
+	return nil
+}
+
+// lookup returns the cluster's session only if it exists and finished
+// initializing.
+func (s *Server) lookup(clusterID string) *clusterSession {
+	s.mu.Lock()
+	cs := s.sessions[clusterID]
+	s.mu.Unlock()
+	if cs == nil || !cs.ready.Load() {
+		return nil
+	}
+	return cs
+}
+
+// httpError writes a JSON error body (errors are never binary).
 func httpError(w http.ResponseWriter, status int, err error) {
-	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Type", api.ContentTypeJSON)
 	w.WriteHeader(status)
 	_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
 }
 
 // writeJSON writes one JSON response document.
 func writeJSON(w http.ResponseWriter, v any) {
-	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Type", api.ContentTypeJSON)
 	data, err := json.Marshal(v)
 	if err != nil {
 		httpError(w, http.StatusInternalServerError, err)
@@ -145,6 +285,16 @@ func writeJSON(w http.ResponseWriter, v any) {
 	_, _ = w.Write(data)
 }
 
+// sendsBinary reports whether the request body is in the binary codec.
+func sendsBinary(r *http.Request) bool {
+	return strings.HasPrefix(r.Header.Get("Content-Type"), api.ContentTypeBinary)
+}
+
+// acceptsBinary reports whether the client asked for a binary response.
+func acceptsBinary(r *http.Request) bool {
+	return strings.Contains(r.Header.Get("Accept"), api.ContentTypeBinary)
+}
+
 func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		w.Header().Set("Allow", http.MethodPost)
@@ -152,7 +302,13 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	body := http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
-	req, err := api.DecodePlanRequest(body)
+	var req *api.PlanRequest
+	var err error
+	if sendsBinary(r) {
+		req, err = api.DecodePlanRequestBinary(body)
+	} else {
+		req, err = api.DecodePlanRequest(body)
+	}
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err)
 		return
@@ -161,9 +317,9 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	if clusterID == "" {
 		clusterID = "default"
 	}
-	cs, err := s.session(clusterID, req.Shards)
+	cs, status, err := s.session(clusterID, req.Shards)
 	if err != nil {
-		httpError(w, http.StatusTooManyRequests, err)
+		httpError(w, status, err)
 		return
 	}
 
@@ -204,6 +360,23 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 		resp.Plan = plan
 	}
 	cs.prev = plan
+
+	// Durability: roll the cluster's state file forward on schedule. A
+	// write failure costs durability, not availability — the plan
+	// response still goes out.
+	if s.opts.StateDir != "" && cs.sess.Cycles()-cs.ckCycle >= s.opts.CheckpointEvery {
+		if err := s.checkpointLocked(cs, clusterID); err != nil {
+			s.logf("serve: checkpoint write for %q failed: %v", clusterID, err)
+		}
+	}
+
+	if acceptsBinary(r) {
+		w.Header().Set("Content-Type", api.ContentTypeBinary)
+		if err := api.EncodePlanResponseBinary(w, resp); err != nil {
+			s.logf("serve: binary response for %q failed: %v", clusterID, err)
+		}
+		return
+	}
 	writeJSON(w, resp)
 }
 
@@ -233,6 +406,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	ids := make([]string, 0, len(s.sessions))
 	byID := make(map[string]*clusterSession, len(s.sessions))
 	for id, cs := range s.sessions {
+		if !cs.ready.Load() {
+			continue // mid-initialization placeholder
+		}
 		ids = append(ids, id)
 		byID[id] = cs
 	}

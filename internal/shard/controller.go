@@ -196,6 +196,40 @@ func (c *Controller) planShards(p *partition, plans []*core.Plan) {
 	wg.Wait()
 }
 
+// ExportBounds returns the partitioner's persistent state for a
+// checkpoint: the current shard boundaries (shard i owns node indexes
+// [bounds[i], bounds[i+1]) of the snapshot's node list) and the
+// reshard counter. Nil bounds before the first K>1 plan.
+func (c *Controller) ExportBounds() (bounds []int, reshards int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]int(nil), c.scratch.bounds...), c.scratch.reshards
+}
+
+// RestoreBounds stages checkpointed partitioner state onto a fresh
+// controller, before its first Plan: the next split adopts the bounds
+// verbatim (so replaying the checkpointed snapshot reproduces the
+// pre-checkpoint partition exactly, with no spurious reshard), and the
+// reshard counter continues where it left off. Bounds that do not fit
+// the first snapshot are discarded in favor of a fresh computation.
+func (c *Controller) RestoreBounds(bounds []int, reshards int) error {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] < bounds[i-1] {
+			return fmt.Errorf("shard: restored bounds not monotonic at %d", i)
+		}
+	}
+	if len(bounds) > 0 && bounds[0] != 0 {
+		return fmt.Errorf("shard: restored bounds start at %d, want 0", bounds[0])
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(bounds) > 0 {
+		c.scratch.pendingBounds = append([]int(nil), bounds...)
+	}
+	c.scratch.reshards = reshards
+	return nil
+}
+
 // Diagnostics returns the most recent partition's shape: effective
 // shard count, demand-load spread, and the reshard history. Before the
 // first plan (or with Shards <= 1) it reports one effective shard and

@@ -123,6 +123,12 @@ type partitionScratch struct {
 	// reshards counts boundary migrations at an unchanged effective K
 	// since the scratch was created (the controller's diagnostics).
 	reshards int
+	// pendingBounds are boundaries restored from a checkpoint, adopted
+	// verbatim by the next split (they are the boundary decision's
+	// recorded outcome for the snapshot that split will replay) and
+	// cleared. Bounds that do not fit the snapshot fall through to a
+	// fresh computation.
+	pendingBounds []int
 
 	// Per-split working storage.
 	weights   []int64 // per-node demand weight
@@ -317,8 +323,31 @@ func (sc *partitionScratch) split(st *core.State, k int, spreadLimit float64) *p
 	// decision is part of the snapshot plus the persisted boundaries,
 	// so a controller replaying the same snapshot sequence reshards at
 	// the same cycles.
-	needBounds := topologyChanged || sc.boundsK != k || len(sc.bounds) != k+1
-	if !needBounds {
+	// Checkpoint-restored boundaries are used as-is for this one split —
+	// no keep/reshard decision, because that decision's outcome for this
+	// snapshot is exactly what was checkpointed. Later cycles take the
+	// normal path below.
+	adopted := false
+	if pb := sc.pendingBounds; pb != nil {
+		sc.pendingBounds = nil
+		if validBounds(pb, k, n) {
+			sc.bounds = append([]int(nil), pb...)
+			sc.boundsK = k
+			adopted = true
+			if cap(sc.nodeShard) < n {
+				sc.nodeShard = make([]int32, n)
+			}
+			nodeShard := sc.nodeShard[:n]
+			for s := 0; s < k; s++ {
+				for i := sc.bounds[s]; i < sc.bounds[s+1]; i++ {
+					nodeShard[i] = int32(s)
+				}
+			}
+		}
+	}
+
+	needBounds := !adopted && (topologyChanged || sc.boundsK != k || len(sc.bounds) != k+1)
+	if !needBounds && !adopted {
 		if spread := loadSpread(p.loads, prefix, sc.bounds, queuedW, k); spread > spreadLimit {
 			needBounds = true
 		}
@@ -362,6 +391,21 @@ func (sc *partitionScratch) split(st *core.State, k int, spreadLimit float64) *p
 		p.jobCount[i] = len(sc.jobBufs[i])
 	}
 	return p
+}
+
+// validBounds reports whether checkpoint-restored boundaries fit a
+// k-shard split of n nodes: k+1 strictly increasing offsets from 0 to
+// n (every shard owns at least one node, as computeBounds guarantees).
+func validBounds(b []int, k, n int) bool {
+	if len(b) != k+1 || b[0] != 0 || b[k] != n {
+		return false
+	}
+	for i := 0; i < k; i++ {
+		if b[i] >= b[i+1] {
+			return false
+		}
+	}
+	return true
 }
 
 // loadSpread fills loads with the per-shard demand under the given

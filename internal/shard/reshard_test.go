@@ -174,6 +174,84 @@ func TestReshardSequenceEquivalence(t *testing.T) {
 	}
 }
 
+// TestBoundsExportRestore: a controller rebuilt from exported bounds
+// plus a warm re-plan of the last snapshot is indistinguishable from
+// the original — same partition, same reshard accounting, and a
+// byte-identical plan sequence from then on. This is the sharded half
+// of the session checkpoint/restore contract: boundaries are the one
+// piece of partitioner state that is history-dependent (they persist
+// across cycles), so they cross the checkpoint explicitly.
+func TestBoundsExportRestore(t *testing.T) {
+	st := reshardState()
+	victim := New(Config{Shards: 3})
+	victim.Plan(cloneState(st))
+	victim.Plan(cloneState(st))
+	injectTailSkew(st)
+	last := victim.Plan(cloneState(st)) // reshard cycle: bounds now [0,3,6,10]
+
+	bounds, reshards := victim.ExportBounds()
+	if want := []int{0, 3, 6, 10}; fmt.Sprint(bounds) != fmt.Sprint(want) {
+		t.Fatalf("exported bounds %v, want %v", bounds, want)
+	}
+	if reshards != 1 {
+		t.Fatalf("exported reshards %d, want 1", reshards)
+	}
+
+	restored := New(Config{Shards: 3})
+	if err := restored.RestoreBounds(bounds, reshards); err != nil {
+		t.Fatal(err)
+	}
+	// Warm-up re-plan of the checkpointed snapshot: identical plan, and
+	// the adoption neither recounts the reshard nor reports one.
+	if got := restored.Plan(cloneState(st)); got.Digest() != last.Digest() {
+		t.Fatalf("restored warm-up plan diverges from the checkpointed plan")
+	}
+	if d := restored.Diagnostics(); d.Reshards != 1 || d.LastResharded {
+		t.Fatalf("restore warm-up miscounted reshards: %+v", d)
+	}
+
+	// Continuation: both controllers see the same further drift and stay
+	// byte-identical, including the next reshard decision.
+	for cycle := 0; cycle < 4; cycle++ {
+		if cycle == 1 { // skew wave toward the front, as in the sequence test
+			for i := 0; i < 3; i++ {
+				j := testJob(fmt.Sprintf("w2%d", i), batch.Running, "n003", 30000,
+					4500*20000, 90000, 50+float64(i))
+				j.Share = 1000
+				st.Jobs = append(st.Jobs, j)
+			}
+		}
+		got := restored.Plan(cloneState(st))
+		want := victim.Plan(cloneState(st))
+		if got.Digest() != want.Digest() {
+			t.Fatalf("cycle %d after restore: plans diverge", cycle)
+		}
+		dg, dw := restored.Diagnostics(), victim.Diagnostics()
+		if dg.Reshards != dw.Reshards || dg.LastResharded != dw.LastResharded {
+			t.Fatalf("cycle %d after restore: reshard accounting diverges: %+v vs %+v", cycle, dg, dw)
+		}
+	}
+
+	// Ill-fitting bounds are discarded: the first split computes fresh
+	// boundaries and plans exactly like an unrestored controller.
+	misfit := New(Config{Shards: 3})
+	if err := misfit.RestoreBounds([]int{0, 5}, 7); err != nil {
+		t.Fatal(err)
+	}
+	fresh := New(Config{Shards: 3})
+	if misfit.Plan(cloneState(st)).Digest() != fresh.Plan(cloneState(st)).Digest() {
+		t.Errorf("misfit bounds changed the plan instead of being discarded")
+	}
+
+	// Corrupt bounds are rejected outright.
+	if err := New(Config{Shards: 3}).RestoreBounds([]int{0, 6, 3}, 0); err == nil {
+		t.Error("non-monotonic bounds accepted")
+	}
+	if err := New(Config{Shards: 3}).RestoreBounds([]int{2, 6}, 0); err == nil {
+		t.Error("bounds not starting at 0 accepted")
+	}
+}
+
 // TestReshardSpreadInfNeverReshards: the +Inf threshold pins the
 // initial boundaries for the life of the topology.
 func TestReshardSpreadInfNeverReshards(t *testing.T) {

@@ -10,6 +10,9 @@ import (
 	"fmt"
 	"math"
 	"net/http/httptest"
+	"sort"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -88,6 +91,33 @@ func BenchmarkServePlan(b *testing.B) {
 		}
 	})
 
+	b.Run(fmt.Sprintf("coldBinary/nodes=%d/jobs=%d", nodes, jobs), func(b *testing.B) {
+		// The same cold request over the compact binary codec, both
+		// directions — the wire-overhead share of the cold path is what
+		// the codec can remove. The benchmark gate holds the cold/
+		// coldBinary ratio.
+		var buf bytes.Buffer
+		err := api.EncodePlanRequestBinary(&buf, &api.PlanRequest{
+			ClusterID: "bench", Snapshot: steadyWireSnapshot(b, nodes, jobs, 65),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		body := buf.Bytes()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			srv := serve.New(serve.Options{})
+			req := httptest.NewRequest("POST", "/v1/plan", bytes.NewReader(body))
+			req.Header.Set("Content-Type", api.ContentTypeBinary)
+			req.Header.Set("Accept", api.ContentTypeBinary)
+			w := httptest.NewRecorder()
+			srv.Handler().ServeHTTP(w, req)
+			if w.Code != 200 {
+				b.Fatalf("POST /v1/plan: %d: %s", w.Code, w.Body.String())
+			}
+		}
+	})
+
 	b.Run(fmt.Sprintf("steadyFull/nodes=%d/jobs=%d", nodes, jobs), func(b *testing.B) {
 		// Pre-encode drifting-demand bodies; a fresh demand level every
 		// request keeps the session on the carry-over tier (genuine
@@ -154,6 +184,225 @@ func BenchmarkServePlan(b *testing.B) {
 			cycle++
 		}
 	})
+}
+
+// BenchmarkServeCheckpoint measures the durability tax at the
+// 500-node / 5000-job steady shape:
+//
+//	export   GET /v1/sessions/{id}/checkpoint (binary): serialize the
+//	         session's minimal restart state.
+//	restore  PUT the checkpoint into a fresh daemon: decode plus the
+//	         warm re-plan that rebuilds the incremental tiers.
+//	write    the per-cycle cost a durable daemon adds to /v1/plan:
+//	         export plus the atomic state-file write.
+func BenchmarkServeCheckpoint(b *testing.B) {
+	const nodes, jobs = 500, 5000
+	warmServer := func(b *testing.B, dir string) *serve.Server {
+		b.Helper()
+		srv := serve.New(serve.Options{StateDir: dir})
+		doPlan(b, srv, servePlanBody(b, steadyWireSnapshot(b, nodes, jobs, 65), ""))
+		return srv
+	}
+	export := func(b *testing.B, srv *serve.Server) []byte {
+		b.Helper()
+		req := httptest.NewRequest("GET", "/v1/sessions/bench/checkpoint", nil)
+		req.Header.Set("Accept", api.ContentTypeBinary)
+		w := httptest.NewRecorder()
+		srv.Handler().ServeHTTP(w, req)
+		if w.Code != 200 {
+			b.Fatalf("checkpoint export: %d: %s", w.Code, w.Body.String())
+		}
+		return w.Body.Bytes()
+	}
+
+	b.Run(fmt.Sprintf("export/nodes=%d/jobs=%d", nodes, jobs), func(b *testing.B) {
+		srv := warmServer(b, "")
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			export(b, srv)
+		}
+	})
+
+	b.Run(fmt.Sprintf("restore/nodes=%d/jobs=%d", nodes, jobs), func(b *testing.B) {
+		ck := export(b, warmServer(b, ""))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			srv := serve.New(serve.Options{})
+			req := httptest.NewRequest("PUT", "/v1/sessions/bench/checkpoint", bytes.NewReader(ck))
+			req.Header.Set("Content-Type", api.ContentTypeBinary)
+			w := httptest.NewRecorder()
+			srv.Handler().ServeHTTP(w, req)
+			if w.Code != 204 {
+				b.Fatalf("checkpoint restore: %d: %s", w.Code, w.Body.String())
+			}
+		}
+	})
+
+	b.Run(fmt.Sprintf("write/nodes=%d/jobs=%d", nodes, jobs), func(b *testing.B) {
+		// A durable server re-planning with no drift: the replay tier
+		// answers planning, so the measured cost is dominated by the
+		// checkpoint export + atomic file write each cycle adds.
+		srv := warmServer(b, b.TempDir())
+		warm := steadyWireSnapshot(b, nodes, jobs, 65)
+		cycle := 1
+		var buf bytes.Buffer
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			buf.Reset()
+			err := api.EncodePlanRequest(&buf, &api.PlanRequest{
+				ClusterID: "bench",
+				Delta:     &api.SnapshotDelta{BaseCycle: cycle, Now: warm.Now},
+				Reply:     api.ReplyDelta,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			doPlan(b, srv, buf.Bytes())
+			cycle++
+		}
+	})
+}
+
+// BenchmarkManyTenantServe is the consolidation benchmark: ONE daemon
+// hosting 1000 cluster sessions — the paper's many-workload story at
+// control-plane scale. The tenant mix is skewed like real fleets
+// (850 small 10-node clusters, 140 medium 50-node, 10 large 200-node);
+// all sessions are created and warmed first (that cost is reported as
+// warm-ns per session), then drifting-demand plan requests are issued
+// across all tenants from parallel clients; one benchmark op is a
+// 100-request sweep over one proportional block of the mix. Beyond the
+// per-sweep ns/op, the benchmark reports the p50 and p99 per-request
+// latency — the numbers a multi-tenant operator actually provisions
+// against.
+func BenchmarkManyTenantServe(b *testing.B) {
+	type tier struct {
+		count, nodes, jobs int
+	}
+	tiers := []tier{{850, 10, 30}, {140, 50, 300}, {10, 200, 2000}}
+	total := 0
+	for _, tr := range tiers {
+		total += tr.count
+	}
+
+	const variants = 4 // pre-encoded drift levels per tenant
+	type tenant struct {
+		id     string
+		warm   []byte
+		bodies [][]byte
+		visits atomic.Int64
+	}
+	tenants := make([]*tenant, 0, total)
+	for ti, tr := range tiers {
+		// One snapshot per tier, re-labelled per tenant: the controller
+		// state is per-session either way, and encoding 1000×5 distinct
+		// 2000-job snapshots would dominate setup time.
+		warmSnap := steadyWireSnapshot(b, tr.nodes, tr.jobs, 65)
+		base := make([]*api.Snapshot, variants)
+		for v := range base {
+			base[v] = steadyWireSnapshot(b, tr.nodes, tr.jobs, 65+0.1*float64(v+1))
+		}
+		for i := 0; i < tr.count; i++ {
+			tn := &tenant{id: fmt.Sprintf("t%d-%04d", ti, i)}
+			encode := func(snap *api.Snapshot) []byte {
+				var buf bytes.Buffer
+				if err := api.EncodePlanRequestBinary(&buf, &api.PlanRequest{
+					ClusterID: tn.id, Snapshot: snap,
+				}); err != nil {
+					b.Fatal(err)
+				}
+				return buf.Bytes()
+			}
+			tn.warm = encode(warmSnap)
+			for v := 0; v < variants; v++ {
+				tn.bodies = append(tn.bodies, encode(base[v]))
+			}
+			tenants = append(tenants, tn)
+		}
+	}
+	// Interleave the tiers proportionally (largest-deficit order): the
+	// measured loop walks tenants round-robin, and with small b.N only
+	// a prefix is visited — proportional interleaving puts the fleet's
+	// exact size mix in EVERY prefix (one large per 100 tenants, one
+	// medium per ~7), so ns/op does not depend on how many iterations
+	// the ramp-up settles on.
+	starts := make([]int, len(tiers))
+	for ti := 1; ti < len(tiers); ti++ {
+		starts[ti] = starts[ti-1] + tiers[ti-1].count
+	}
+	placed := make([]int, len(tiers))
+	ordered := make([]*tenant, 0, total)
+	for p := 0; p < total; p++ {
+		bestT, bestDef := -1, math.Inf(-1)
+		for ti, tr := range tiers {
+			if placed[ti] >= tr.count {
+				continue
+			}
+			def := float64(tr.count)*float64(p+1)/float64(total) - float64(placed[ti])
+			if def > bestDef {
+				bestT, bestDef = ti, def
+			}
+		}
+		ordered = append(ordered, tenants[starts[bestT]+placed[bestT]])
+		placed[bestT]++
+	}
+	tenants = ordered
+
+	srv := serve.New(serve.Options{})
+	do := func(body []byte) int {
+		req := httptest.NewRequest("POST", "/v1/plan", bytes.NewReader(body))
+		req.Header.Set("Content-Type", api.ContentTypeBinary)
+		req.Header.Set("Accept", api.ContentTypeBinary)
+		w := httptest.NewRecorder()
+		srv.Handler().ServeHTTP(w, req)
+		return w.Code
+	}
+	warmStart := time.Now()
+	for _, tn := range tenants {
+		if code := do(tn.warm); code != 200 {
+			b.Fatalf("warm-up for %s: %d", tn.id, code)
+		}
+	}
+	warm := time.Since(warmStart)
+
+	// One op is a SWEEP of 100 requests — exactly one proportional
+	// block of the interleave (85 small, 14 medium, 1 large), so every
+	// iteration prices the identical tenant mix and per-request noise
+	// averages out inside the op. Each request cycles its tenant's
+	// demand level, so every plan is a carry-over re-plan, never a
+	// cached replay.
+	const sweep = 100
+	var mu sync.Mutex
+	var latencies []time.Duration
+	var next atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		local := make([]time.Duration, 0, 256)
+		for pb.Next() {
+			for s := 0; s < sweep; s++ {
+				n := next.Add(1)
+				tn := tenants[int(n)%len(tenants)]
+				body := tn.bodies[int(tn.visits.Add(1))%variants]
+				start := time.Now()
+				if code := do(body); code != 200 {
+					b.Errorf("tenant %s: %d", tn.id, code)
+					return
+				}
+				local = append(local, time.Since(start))
+			}
+		}
+		mu.Lock()
+		latencies = append(latencies, local...)
+		mu.Unlock()
+	})
+	b.StopTimer()
+
+	if len(latencies) > 0 {
+		sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+		b.ReportMetric(float64(latencies[len(latencies)/2]), "p50-ns")
+		b.ReportMetric(float64(latencies[len(latencies)*99/100]), "p99-ns")
+	}
+	b.ReportMetric(float64(warm.Nanoseconds())/float64(total), "warm-ns")
+	b.ReportMetric(float64(total), "sessions")
 }
 
 // TestServePlanSessionReuse pins the serving mode's headline
