@@ -315,11 +315,67 @@ type SessionStats struct {
 	Stats           *PlanStats `json:"stats,omitempty"`
 }
 
-// HealthResponse is the body of GET /v1/healthz.
+// HealthResponse is the body of GET /v1/healthz — liveness: a daemon
+// that can answer it is alive, whatever its readiness.
 type HealthResponse struct {
 	Status        string `json:"status"`
 	SchemaVersion int    `json:"schemaVersion"`
 	Sessions      int    `json:"sessions"`
+	// ReplicaID identifies the daemon in a replicated deployment
+	// (empty for a standalone daemon).
+	ReplicaID string `json:"replicaId,omitempty"`
+}
+
+// Readiness status strings for ReadyResponse.Status.
+const (
+	ReadyStatusReady = "ready"
+	// ReadyStatusRestoring: the daemon is still scanning its state dir
+	// for sessions to restore; routing traffic to it would cold-start
+	// sessions another replica may still own.
+	ReadyStatusRestoring = "restoring"
+	// ReadyStatusDraining: the daemon received a shutdown signal and is
+	// handing its sessions to peers; route new work elsewhere.
+	ReadyStatusDraining = "draining"
+)
+
+// ReadyResponse is the body of GET /v1/readyz — readiness, distinct
+// from liveness: the endpoint answers 200 only when the daemon should
+// receive new traffic. While restoring or draining it answers 503 with
+// the same body, so load balancers and the replica coordinator can
+// tell "do not route here" from "dead".
+type ReadyResponse struct {
+	// Status is one of the ReadyStatus strings.
+	Status        string `json:"status"`
+	SchemaVersion int    `json:"schemaVersion"`
+	Sessions      int    `json:"sessions"`
+	ReplicaID     string `json:"replicaId,omitempty"`
+}
+
+// ErrorResponse is the JSON body of every non-2xx daemon response.
+type ErrorResponse struct {
+	Error string `json:"error"`
+	// Owner, on a 421 (misdirected request), names the replica that
+	// holds the cluster's ownership claim — a client that recognizes it
+	// as an address can go straight there instead of rediscovering the
+	// home through the ring.
+	Owner string `json:"owner,omitempty"`
+}
+
+// ReplicaStatus is one replica's view from the coordinator.
+type ReplicaStatus struct {
+	Addr string `json:"addr"`
+	// Ready means the last probe (or forward) succeeded and the replica
+	// accepts new traffic; Draining means it answered readyz with a
+	// draining status and is handing sessions off.
+	Ready    bool   `json:"ready"`
+	Draining bool   `json:"draining,omitempty"`
+	LastErr  string `json:"lastErr,omitempty"`
+}
+
+// ReplicasResponse is the body of the coordinator's GET /v1/replicas.
+type ReplicasResponse struct {
+	SchemaVersion int             `json:"schemaVersion"`
+	Replicas      []ReplicaStatus `json:"replicas"`
 }
 
 // CheckVersion validates a document's schemaVersion against what this

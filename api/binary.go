@@ -742,6 +742,27 @@ func DecodePlanRequestBinary(r io.Reader) (*PlanRequest, error) {
 	return req, nil
 }
 
+// PeekPlanRequestClusterBinary reads only the header and cluster ID of
+// a binary plan request — the routing sniff a proxy needs — without
+// decoding the snapshot or delta behind them (the layout puts the
+// cluster ID first for exactly this). The body past the ID is not
+// validated; the serving replica remains the authority on request
+// shape.
+func PeekPlanRequestClusterBinary(data []byte) (string, error) {
+	br := &binReader{data: data}
+	version := br.header(binKindPlanRequest)
+	if br.err == nil {
+		if err := CheckVersion(version); err != nil {
+			return "", err
+		}
+	}
+	cluster := br.str()
+	if br.err != nil {
+		return "", br.err
+	}
+	return cluster, nil
+}
+
 // --- PlanResponse ---
 
 // EncodePlanResponseBinary writes one plan response in the binary form.

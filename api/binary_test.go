@@ -163,6 +163,38 @@ func TestBinaryPlanRequestRoundTrip(t *testing.T) {
 	}
 }
 
+// TestBinaryPlanRequestPeek: the routing sniff reads the cluster ID
+// without decoding the payload, and rejects what isn't a plan request.
+func TestBinaryPlanRequestPeek(t *testing.T) {
+	st := sampleState(t)
+	snap, err := FromCoreState(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bin bytes.Buffer
+	if err := EncodePlanRequestBinary(&bin, &PlanRequest{ClusterID: "c/1", Snapshot: snap}); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := PeekPlanRequestClusterBinary(bin.Bytes()); err != nil || got != "c/1" {
+		t.Errorf("peek = %q, %v, want \"c/1\"", got, err)
+	}
+	// The peek must not demand a complete document: the header plus the
+	// ID prefix is enough.
+	if got, err := PeekPlanRequestClusterBinary(bin.Bytes()[:12]); err != nil || got != "c/1" {
+		t.Errorf("truncated peek = %q, %v, want \"c/1\"", got, err)
+	}
+	if _, err := PeekPlanRequestClusterBinary([]byte("not a binary doc")); err == nil {
+		t.Error("peek accepted garbage")
+	}
+	var wrongKind bytes.Buffer
+	if err := EncodeSnapshotBinary(&wrongKind, snap); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := PeekPlanRequestClusterBinary(wrongKind.Bytes()); err == nil {
+		t.Error("peek accepted a snapshot document")
+	}
+}
+
 // TestBinaryPlanResponseRoundTrip: the response envelope with stats,
 // an embedded plan, and a typed delta.
 func TestBinaryPlanResponseRoundTrip(t *testing.T) {

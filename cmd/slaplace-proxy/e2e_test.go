@@ -1,0 +1,425 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"slaplace/api"
+	"slaplace/internal/baseline"
+	"slaplace/internal/core"
+	"slaplace/internal/experiments"
+	"slaplace/internal/replica"
+)
+
+// captureController records every planned snapshot in wire form
+// without changing the plans (mirrors the serve package's test
+// helper).
+type captureController struct {
+	inner core.Controller
+	snaps []*api.Snapshot
+}
+
+func (c *captureController) Name() string { return c.inner.Name() }
+
+func (c *captureController) Plan(st *core.State) *core.Plan {
+	if snap, err := api.FromCoreState(st); err == nil {
+		c.snaps = append(c.snaps, snap)
+	}
+	return c.inner.Plan(st)
+}
+
+// goldenCases maps each golden-fixture entry to the daemon's
+// -controller flag value and an in-process constructor for the
+// snapshot capture.
+func goldenCases() map[string]struct {
+	flag    string
+	newCtrl func() core.Controller
+} {
+	return map[string]struct {
+		flag    string
+		newCtrl func() core.Controller
+	}{
+		"baseline/fcfs":      {"fcfs", func() core.Controller { return baseline.FCFS{} }},
+		"baseline/edf":       {"edf", func() core.Controller { return baseline.EDF{} }},
+		"baseline/fairshare": {"fairshare", func() core.Controller { return baseline.FairShare{} }},
+		"baseline/static60":  {"static60", func() core.Controller { return baseline.Static{BatchFraction: 0.6} }},
+		"baseline/utility":   {"utility", func() core.Controller { return core.New(core.DefaultConfig()) }},
+	}
+}
+
+func captureSnapshots(t *testing.T, newCtrl func() core.Controller) []*api.Snapshot {
+	t.Helper()
+	cap := &captureController{inner: newCtrl()}
+	if _, err := experiments.Run(experiments.BaselineScenario(42, cap)); err != nil {
+		t.Fatal(err)
+	}
+	if len(cap.snaps) < 4 {
+		t.Fatalf("golden run too short: %d snapshots", len(cap.snaps))
+	}
+	return cap.snaps
+}
+
+func loadGolden(t *testing.T) map[string]string {
+	t.Helper()
+	golden := map[string]string{}
+	data, err := os.ReadFile(filepath.Join("..", "..", "internal", "experiments", "testdata", "golden_plans.json"))
+	if err != nil {
+		t.Fatalf("read golden fixture: %v", err)
+	}
+	if err := json.Unmarshal(data, &golden); err != nil {
+		t.Fatal(err)
+	}
+	return golden
+}
+
+// buildBinaries compiles slaplace-serve and slaplace-proxy once into a
+// shared temp dir.
+func buildBinaries(t *testing.T) (serveBin, proxyBin string) {
+	t.Helper()
+	dir := t.TempDir()
+	serveBin = filepath.Join(dir, "slaplace-serve")
+	proxyBin = filepath.Join(dir, "slaplace-proxy")
+	for bin, pkg := range map[string]string{serveBin: "../slaplace-serve", proxyBin: "."} {
+		cmd := exec.Command("go", "build", "-o", bin, pkg)
+		if out, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("go build %s: %v\n%s", pkg, err, out)
+		}
+	}
+	return serveBin, proxyBin
+}
+
+// proc is one process under test announcing "listening on <addr> ".
+type proc struct {
+	cmd *exec.Cmd
+	url string
+}
+
+var addrRe = regexp.MustCompile(`listening on (\S+) `)
+
+func startProc(t *testing.T, bin string, args ...string) *proc {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			if m := addrRe.FindStringSubmatch(sc.Text()); m != nil {
+				select {
+				case addrCh <- m[1]:
+				default:
+				}
+			}
+		}
+	}()
+	select {
+	case addr := <-addrCh:
+		p := &proc{cmd: cmd, url: "http://" + addr}
+		t.Cleanup(func() { p.kill9() })
+		return p
+	case <-time.After(30 * time.Second):
+		cmd.Process.Kill()
+		t.Fatalf("%s did not announce its listen address", bin)
+		return nil
+	}
+}
+
+func (p *proc) kill9() {
+	if p.cmd.ProcessState != nil {
+		return // already reaped
+	}
+	p.cmd.Process.Kill()
+	p.cmd.Wait()
+}
+
+func (p *proc) sigterm(t *testing.T) {
+	t.Helper()
+	if err := p.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- p.cmd.Wait() }()
+	select {
+	case <-done:
+	case <-time.After(45 * time.Second):
+		p.cmd.Process.Kill()
+		t.Fatal("daemon did not exit after SIGTERM drain")
+	}
+}
+
+// pickPorts reserves n distinct ephemeral ports by binding and
+// releasing them — the fleet's -replica-id/-peers URLs must exist
+// before any daemon starts. The tiny reuse race is acceptable in a
+// test.
+func pickPorts(t *testing.T, n int) []string {
+	t.Helper()
+	addrs := make([]string, n)
+	listeners := make([]net.Listener, n)
+	for i := range addrs {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		listeners[i] = l
+		addrs[i] = l.Addr().String()
+	}
+	for _, l := range listeners {
+		l.Close()
+	}
+	return addrs
+}
+
+// startFleet launches n slaplace-serve replicas over one shared state
+// dir, each knowing its own URL and its peers, plus a proxy fronting
+// them. Returns the replica procs (indexed like urls) and the proxy.
+func startFleet(t *testing.T, serveBin, proxyBin, stateDir, controller string, n int) (replicas []*proc, urls []string, proxy *proc) {
+	t.Helper()
+	addrs := pickPorts(t, n)
+	urls = make([]string, n)
+	for i, a := range addrs {
+		urls[i] = "http://" + a
+	}
+	for i, a := range addrs {
+		var peers []string
+		for j, u := range urls {
+			if j != i {
+				peers = append(peers, u)
+			}
+		}
+		replicas = append(replicas, startProc(t, serveBin,
+			"-addr", a,
+			"-state-dir", stateDir,
+			"-controller", controller,
+			"-replica-id", urls[i],
+			"-peers", strings.Join(peers, ","),
+			"-claim-ttl", "500ms",
+		))
+	}
+	proxy = startProc(t, proxyBin,
+		"-addr", "127.0.0.1:0",
+		"-replicas", strings.Join(urls, ","),
+		"-probe-every", "200ms",
+		"-probe-timeout", "2s",
+	)
+	waitAllReady(t, proxy.url, n)
+	return replicas, urls, proxy
+}
+
+// waitAllReady polls the proxy until every replica probes ready.
+func waitAllReady(t *testing.T, proxyURL string, want int) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(proxyURL + "/v1/replicas")
+		if err == nil {
+			var out api.ReplicasResponse
+			err = json.NewDecoder(resp.Body).Decode(&out)
+			resp.Body.Close()
+			if err == nil {
+				ready := 0
+				for _, st := range out.Replicas {
+					if st.Ready {
+						ready++
+					}
+				}
+				if ready == want {
+					return
+				}
+			}
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	t.Fatal("replicas did not all become ready")
+}
+
+// planVia POSTs one snapshot through the proxy and returns the plan's
+// core digest, failing the test on any client-visible error — the
+// whole point of the retrying path is that failover stays invisible.
+func planVia(t *testing.T, proxyURL string, snap *api.Snapshot, wantCycle int) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := api.EncodePlanRequest(&buf, &api.PlanRequest{ClusterID: "e2e", Snapshot: snap}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(proxyURL+"/v1/plan", "application/json", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /v1/plan (cycle %d): %d: %s", wantCycle, resp.StatusCode, body)
+	}
+	decoded, err := api.DecodePlanResponse(bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if decoded.Cycle != wantCycle {
+		t.Fatalf("cycle %d, want %d (a failover lost or repeated plan cycles)", decoded.Cycle, wantCycle)
+	}
+	corePlan, err := decoded.Plan.CorePlan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return corePlan.Digest()
+}
+
+// TestFailoverKill9EndToEnd is the tentpole's proof: a 3-replica fleet
+// behind the proxy, the cluster's home replica killed -9 mid-traffic,
+// and for all five golden controllers the plan sequence the client
+// sees must digest to the same golden value as an uninterrupted
+// single-server run — the surviving replica adopted the session from
+// the shared state dir without losing or forking a single cycle.
+func TestFailoverKill9EndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and drives a real 3-replica fleet")
+	}
+	golden := loadGolden(t)
+	serveBin, proxyBin := buildBinaries(t)
+
+	for name, tc := range goldenCases() {
+		t.Run(strings.ReplaceAll(name, "/", "_"), func(t *testing.T) {
+			want, ok := golden[name]
+			if !ok {
+				t.Fatalf("case %s missing from golden fixture", name)
+			}
+			snaps := captureSnapshots(t, tc.newCtrl)
+			stateDir := t.TempDir()
+			replicas, urls, proxy := startFleet(t, serveBin, proxyBin, stateDir, tc.flag, 3)
+
+			// The ring decides where cluster "e2e" lives; that is the
+			// replica whose death actually exercises failover.
+			home := replica.Home("e2e", urls)
+			homeIdx := -1
+			for i, u := range urls {
+				if u == home {
+					homeIdx = i
+				}
+			}
+
+			digester := sha256.New()
+			half := len(snaps) / 2
+			for i := 0; i < half; i++ {
+				io.WriteString(digester, planVia(t, proxy.url, snaps[i], i+1))
+			}
+
+			replicas[homeIdx].kill9()
+
+			for i := half; i < len(snaps); i++ {
+				io.WriteString(digester, planVia(t, proxy.url, snaps[i], i+1))
+			}
+
+			if got := hex.EncodeToString(digester.Sum(nil)); got != want {
+				t.Errorf("plan-sequence digest across kill -9 = %s, want golden %s", got, want)
+			}
+
+			// The proxy noticed the death.
+			resp, err := http.Get(proxy.url + "/v1/replicas")
+			if err != nil {
+				t.Fatal(err)
+			}
+			var out api.ReplicasResponse
+			if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			for _, st := range out.Replicas {
+				if st.Addr == home && st.Ready {
+					t.Errorf("killed replica %s still probes ready", home)
+				}
+			}
+			fmt.Printf("e2e %s: %d cycles across kill -9 of %s\n", name, len(snaps), home)
+		})
+	}
+}
+
+// TestRollingRestartZeroLoss is the drain guarantee: SIGTERM the
+// cluster's home replica mid-traffic and every request keeps
+// succeeding with continuous cycle numbers — the drain pushed the
+// session into a ring peer before the process exited, so not one plan
+// cycle was lost or recomputed.
+func TestRollingRestartZeroLoss(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and drives a real 3-replica fleet")
+	}
+	golden := loadGolden(t)
+	want := golden["baseline/utility"]
+	serveBin, proxyBin := buildBinaries(t)
+
+	snaps := captureSnapshots(t, func() core.Controller { return core.New(core.DefaultConfig()) })
+	stateDir := t.TempDir()
+	replicas, urls, proxy := startFleet(t, serveBin, proxyBin, stateDir, "utility", 3)
+
+	home := replica.Home("e2e", urls)
+	homeIdx := -1
+	for i, u := range urls {
+		if u == home {
+			homeIdx = i
+		}
+	}
+
+	digester := sha256.New()
+	third := len(snaps) / 3
+	for i := 0; i < third; i++ {
+		io.WriteString(digester, planVia(t, proxy.url, snaps[i], i+1))
+	}
+
+	// Rolling restart step 1: gracefully stop the home replica. The
+	// drain must complete (hand-off included) before the process exits.
+	replicas[homeIdx].sigterm(t)
+
+	for i := third; i < 2*third; i++ {
+		io.WriteString(digester, planVia(t, proxy.url, snaps[i], i+1))
+	}
+
+	// Rolling restart step 2: bring the replica back on its old address
+	// and keep driving — the ring sends new traffic back to it only via
+	// adoption, and either way the sequence must stay golden.
+	var peers []string
+	for j, u := range urls {
+		if j != homeIdx {
+			peers = append(peers, u)
+		}
+	}
+	startProc(t, serveBin,
+		"-addr", strings.TrimPrefix(home, "http://"),
+		"-state-dir", stateDir,
+		"-controller", "utility",
+		"-replica-id", home,
+		"-peers", strings.Join(peers, ","),
+		"-claim-ttl", "500ms",
+	)
+
+	for i := 2 * third; i < len(snaps); i++ {
+		io.WriteString(digester, planVia(t, proxy.url, snaps[i], i+1))
+	}
+
+	if got := hex.EncodeToString(digester.Sum(nil)); got != want {
+		t.Errorf("plan-sequence digest across rolling restart = %s, want golden %s", got, want)
+	}
+	fmt.Printf("e2e rolling restart: %d cycles, zero lost, SIGTERM drain of %s\n", len(snaps), home)
+}

@@ -1,0 +1,89 @@
+// Command slaplace-proxy fronts a fleet of slaplace-serve replicas
+// with one stable address: it routes each cluster's plan traffic to
+// the replica the rendezvous ring names, probes every replica's
+// /v1/readyz to notice death and draining, and retries/re-homes
+// transparently — a kill -9'd replica or a rolling restart is
+// invisible to clients, whose plan sequences continue byte for byte
+// from the peer that adopts the sessions out of the shared state dir.
+//
+// Usage:
+//
+//	slaplace-proxy -addr :8079 \
+//	    -replicas http://10.0.0.1:8080,http://10.0.0.2:8080,http://10.0.0.3:8080
+//
+// Endpoints:
+//
+//	POST /v1/plan      forwarded to the cluster's home replica (JSON or
+//	                   binary body, passed through verbatim)
+//	GET  /v1/healthz   the proxy's own liveness + ready-replica count
+//	GET  /v1/replicas  per-replica health as the proxy sees it
+//
+// The replica URLs must be spelled identically in every -replicas and
+// -peers flag across the fleet: the ring hashes the strings.
+package main
+
+import (
+	"errors"
+	"flag"
+	"log"
+	"net"
+	"net/http"
+	"strings"
+	"time"
+
+	"slaplace/api"
+	"slaplace/internal/replica"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8079", "listen address (use port 0 for an ephemeral port; the bound address is logged)")
+		replicas     = flag.String("replicas", "", "comma-separated base URLs of the slaplace-serve replicas (required)")
+		probeEvery   = flag.Duration("probe-every", time.Second, "readiness probe interval")
+		probeTimeout = flag.Duration("probe-timeout", time.Second, "per-probe timeout")
+		maxAttempts  = flag.Int("max-attempts", 8, "retry budget per forwarded request")
+		reqTimeout   = flag.Duration("request-timeout", 10*time.Second, "per-attempt timeout for forwarded requests")
+		maxBody      = flag.Int64("max-body-bytes", 64<<20, "maximum forwarded request body size in bytes")
+		readTimeout  = flag.Duration("read-timeout", 30*time.Second, "HTTP server read timeout")
+		writeTimeout = flag.Duration("write-timeout", 2*time.Minute, "HTTP server write timeout")
+	)
+	flag.Parse()
+
+	var replicaList []string
+	for _, r := range strings.Split(*replicas, ",") {
+		if r = strings.TrimSpace(r); r != "" {
+			replicaList = append(replicaList, r)
+		}
+	}
+	co, err := replica.NewCoordinator(replica.CoordinatorOptions{
+		Replicas:     replicaList,
+		ProbeEvery:   *probeEvery,
+		ProbeTimeout: *probeTimeout,
+		MaxBodyBytes: *maxBody,
+		Logf:         log.Printf,
+	})
+	if err != nil {
+		log.Fatalf("slaplace-proxy: %v", err)
+	}
+	co.Client().MaxAttempts = *maxAttempts
+	co.Client().RequestTimeout = *reqTimeout
+	co.Start()
+	defer co.Close()
+
+	httpSrv := &http.Server{
+		Handler:           co.Handler(),
+		ReadTimeout:       *readTimeout,
+		ReadHeaderTimeout: 10 * time.Second,
+		WriteTimeout:      *writeTimeout,
+		IdleTimeout:       2 * time.Minute,
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("slaplace-proxy: %v", err)
+	}
+	log.Printf("slaplace-proxy: listening on %s (fronting %d replicas, schema v%d)",
+		ln.Addr(), len(replicaList), api.SchemaVersion)
+	if err := httpSrv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatalf("slaplace-proxy: %v", err)
+	}
+}

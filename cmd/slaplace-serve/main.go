@@ -11,6 +11,14 @@
 // Checkpoints also travel: GET /v1/sessions/{cluster}/checkpoint
 // exports one, PUT restores it into another daemon.
 //
+// Several daemons sharing a -state-dir form a replica fleet (fronted
+// by cmd/slaplace-proxy): give each a -replica-id (its advertised base
+// URL) and the others' URLs in -peers. Per-cluster claim files make
+// crash adoption exactly-once, /v1/readyz splits readiness from
+// /v1/healthz liveness, and SIGTERM drains gracefully — final
+// checkpoint per session, hand-off to the ring-chosen peer, then exit
+// — so rolling restarts lose zero plan cycles.
+//
 // Usage:
 //
 //	slaplace-serve -addr :8080 -state-dir /var/lib/slaplace
@@ -18,6 +26,7 @@
 // Try it:
 //
 //	curl -s localhost:8080/v1/healthz
+//	curl -s localhost:8080/v1/readyz
 //	curl -s -X POST localhost:8080/v1/plan -d @snapshot.json
 //	curl -s localhost:8080/v1/stats
 //	curl -s localhost:8080/v1/sessions/default/checkpoint
@@ -38,13 +47,36 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"slaplace/api"
+	"slaplace/internal/baseline"
 	"slaplace/internal/core"
 	"slaplace/internal/serve"
 )
+
+// newController maps the -controller flag to a constructor. "utility"
+// is the paper's placement controller and honors the tuning flags; the
+// rest are the fixed baseline policies from the golden fixture. Every
+// replica of a fleet must run the same controller — a checkpoint
+// refuses to restore under a different one.
+func newController(name string, cfg core.Config) (func() core.Controller, error) {
+	switch name {
+	case "utility":
+		return func() core.Controller { return core.New(cfg) }, nil
+	case "fcfs":
+		return func() core.Controller { return baseline.FCFS{} }, nil
+	case "edf":
+		return func() core.Controller { return baseline.EDF{} }, nil
+	case "fairshare":
+		return func() core.Controller { return baseline.FairShare{} }, nil
+	case "static60":
+		return func() core.Controller { return baseline.Static{BatchFraction: 0.6} }, nil
+	}
+	return nil, errors.New("unknown controller " + name + " (want utility, fcfs, edf, fairshare, or static60)")
+}
 
 func main() {
 	var (
@@ -54,6 +86,14 @@ func main() {
 		stateDir    = flag.String("state-dir", "", "directory for durable session checkpoints (empty = not durable)")
 		ckEvery     = flag.Int("checkpoint-every", 1, "cycles between checkpoint writes per session (with -state-dir)")
 
+		replicaID = flag.String("replica-id", "", "this replica's advertised base URL in a fleet (e.g. http://10.0.0.1:8080; empty = single-daemon mode)")
+		peers     = flag.String("peers", "", "comma-separated base URLs of the other replicas (drain hand-off targets)")
+		claimTTL  = flag.Duration("claim-ttl", 10*time.Second, "cluster claim age after which another replica may take it over")
+
+		readTimeout  = flag.Duration("read-timeout", 30*time.Second, "HTTP server read timeout (slow-loris guard)")
+		writeTimeout = flag.Duration("write-timeout", 2*time.Minute, "HTTP server write timeout (must cover the slowest plan cycle)")
+
+		controller  = flag.String("controller", "utility", "controller: utility (the paper's), fcfs, edf, fairshare, static60")
 		incremental = flag.Bool("incremental", true, "reuse plans across cycles when provably unchanged")
 		churnAware  = flag.Bool("churn-aware", true, "keep running jobs in place when possible")
 		evictMargin = flag.Float64("eviction-margin", 0, "suspension hysteresis in seconds of laxity")
@@ -69,24 +109,37 @@ func main() {
 	if err := cfg.Validate(); err != nil {
 		log.Fatalf("slaplace-serve: %v", err)
 	}
+	newCtrl, err := newController(*controller, cfg)
+	if err != nil {
+		log.Fatalf("slaplace-serve: %v", err)
+	}
 	if *stateDir != "" {
 		if err := os.MkdirAll(*stateDir, 0o755); err != nil {
 			log.Fatalf("slaplace-serve: state dir: %v", err)
 		}
 	}
+	var peerList []string
+	for _, p := range strings.Split(*peers, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			peerList = append(peerList, p)
+		}
+	}
+	if len(peerList) > 0 && *replicaID == "" {
+		log.Fatalf("slaplace-serve: -peers requires -replica-id")
+	}
 
 	srv := serve.New(serve.Options{
-		NewController:   func() core.Controller { return core.New(cfg) },
+		NewController:   newCtrl,
 		MaxSessions:     *maxSessions,
 		MaxBodyBytes:    *maxBody,
 		StateDir:        *stateDir,
 		CheckpointEvery: *ckEvery,
+		ReplicaID:       *replicaID,
+		Peers:           peerList,
+		StaleClaimAfter: *claimTTL,
 		Logf:            log.Printf,
 	})
-	httpSrv := &http.Server{
-		Handler:           srv.Handler(),
-		ReadHeaderTimeout: 10 * time.Second,
-	}
+	httpSrv := serve.NewHTTPServer(srv.Handler(), *readTimeout, *writeTimeout)
 
 	// Listen before announcing so "-addr 127.0.0.1:0" logs the port the
 	// kernel actually picked — scripts (and the e2e test) parse it.
@@ -101,14 +154,34 @@ func main() {
 	go func() {
 		defer close(drained)
 		<-sigs
-		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		// Graceful drain: readiness flips to draining first (the
+		// coordinator stops routing here), every session hands its final
+		// checkpoint to a ring-chosen peer, and only then does the
+		// listener close — a rolling restart loses zero plan cycles.
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 		defer cancel()
+		if err := srv.Drain(ctx); err != nil {
+			log.Printf("slaplace-serve: drain: %v", err)
+		}
 		if err := httpSrv.Shutdown(ctx); err != nil {
 			log.Printf("slaplace-serve: shutdown: %v", err)
 		}
 	}()
 
 	log.Printf("slaplace-serve: listening on %s (schema v%d)", ln.Addr(), api.SchemaVersion)
+	if *stateDir != "" {
+		// Eager restore, after the listener is up: /v1/readyz reports
+		// "restoring" until the scan completes, then flips ready.
+		go func() {
+			n, err := srv.ScanState()
+			if err != nil {
+				log.Printf("slaplace-serve: state scan: %v", err)
+			}
+			if n > 0 {
+				log.Printf("slaplace-serve: state scan restored %d session(s)", n)
+			}
+		}()
+	}
 	if err := httpSrv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatalf("slaplace-serve: %v", err)
 	}

@@ -9,19 +9,28 @@
 //
 // The walkthrough starts the HTTP daemon in process (the same handler
 // cmd/slaplace-serve listens with) and also shows the equivalent
-// in-process Session calls, which return byte-identical plans.
+// in-process Session calls, which return byte-identical plans. It
+// closes with the replicated control plane: a 3-replica fleet sharing
+// one state dir behind a coordinator (what slaplace-proxy runs), a
+// kill -9 of the cluster's home replica mid-traffic, and a graceful
+// rolling restart — the plan sequence continues through both.
 package main
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"time"
 
 	"slaplace"
 	"slaplace/api"
 	"slaplace/internal/core"
+	"slaplace/internal/replica"
 	"slaplace/internal/serve"
 )
 
@@ -235,4 +244,107 @@ func main() {
 	}
 	fmt.Printf("in-process: %d cycles, last mode %v\n", 2, stats.LastMode)
 	printActions("in-process Plan.Diff", plan2.Diff(plan1))
+
+	// --- Replicated serving & failover ------------------------------
+	// Three daemons sharing one -state-dir form a fleet; each knows its
+	// own advertised URL (-replica-id) and the others (-peers). The
+	// coordinator — what slaplace-proxy runs — fronts them with one
+	// address and routes each cluster to its rendezvous-hashed home.
+	stateDir, err := os.MkdirTemp("", "slaplace-fleet-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(stateDir)
+
+	type fleetDaemon struct {
+		srv  *serve.Server
+		http *http.Server
+		ln   net.Listener
+	}
+	listeners := make([]net.Listener, 3)
+	urls := make([]string, 3)
+	for i := range listeners {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			log.Fatal(err)
+		}
+		listeners[i] = ln
+		urls[i] = "http://" + ln.Addr().String()
+	}
+	daemons := map[string]*fleetDaemon{}
+	start := func(i int) *fleetDaemon {
+		var peers []string
+		for _, u := range urls {
+			if u != urls[i] {
+				peers = append(peers, u)
+			}
+		}
+		srv := serve.New(serve.Options{
+			NewController: func() core.Controller {
+				return core.New(core.DefaultConfig())
+			},
+			StateDir:  stateDir,
+			ReplicaID: urls[i],
+			Peers:     peers,
+			// Production keeps the default 10s; the walkthrough should
+			// not sit around waiting for a claim to go stale.
+			StaleClaimAfter: 500 * time.Millisecond,
+		})
+		hs := serve.NewHTTPServer(srv.Handler(), 0, 0)
+		go func() { _ = hs.Serve(listeners[i]) }()
+		go func() { _, _ = srv.ScanState() }()
+		d := &fleetDaemon{srv: srv, http: hs, ln: listeners[i]}
+		daemons[urls[i]] = d
+		return d
+	}
+	for i := range urls {
+		start(i)
+	}
+
+	co, err := replica.NewCoordinator(replica.CoordinatorOptions{Replicas: urls})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer co.Close()
+	cl := co.Client() // the retrying, re-homing client
+
+	fleetPlan := func(now, lambda float64) *api.PlanResponse {
+		resp, err := cl.Plan(context.Background(), &api.PlanRequest{
+			ClusterID: "prod-eu", Snapshot: snapshot(now, lambda),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return resp
+	}
+
+	ranked := replica.Rank("prod-eu", urls)
+	fmt.Printf("\nfleet of 3: prod-eu's rendezvous home is %s\n", ranked[0])
+	r := fleetPlan(2400, 40)
+	fmt.Printf("fleet cycle %d planned by the home (mode %q)\n", r.Cycle, r.PlanMode)
+
+	// kill -9: drop the home's listener with no drain, mid-traffic. The
+	// client sees connection refused, re-homes, and the next-ranked
+	// replica steals the stale claim and restores the checkpoint — the
+	// sequence continues with no lost cycle.
+	home := daemons[ranked[0]]
+	home.http.Close()
+	home.ln.Close()
+	r = fleetPlan(3000, 40)
+	fmt.Printf("after kill -9 of the home: cycle %d from %s (adopted from the shared state dir)\n",
+		r.Cycle, ranked[1])
+
+	// Rolling restart: SIGTERM-equivalent. Drain flips readiness, hands
+	// every session's final checkpoint to a ring-chosen live peer, and
+	// only then shuts down — zero plan cycles lost.
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	adopter := daemons[ranked[1]]
+	if err := adopter.srv.Drain(ctx); err != nil {
+		log.Fatal(err)
+	}
+	_ = adopter.http.Shutdown(ctx)
+	r = fleetPlan(3600, 40)
+	fmt.Printf("after a graceful drain of the adopter: cycle %d from %s (handed off, not re-adopted)\n",
+		r.Cycle, ranked[2])
 }

@@ -1,0 +1,396 @@
+package replica
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync"
+	"time"
+
+	"slaplace/api"
+)
+
+// Router resolves a cluster to the replicas that may serve it, most
+// preferred first, and accepts passive failure feedback. Coordinator
+// implements it with health-probed state; StaticRouter is the
+// zero-state fallback for clients that only know the replica list.
+type Router interface {
+	// Candidates returns the replica base URLs to try for a cluster,
+	// in preference order.
+	Candidates(cluster string) []string
+	// MarkDead reports that a replica failed at the transport level
+	// (connection refused, reset, timeout) so the router can stop
+	// preferring it before the next health probe notices.
+	MarkDead(addr string)
+}
+
+// StaticRouter routes over a fixed replica set by ring rank alone —
+// no health state, so MarkDead is a no-op (the client's own per-
+// request avoidance still steers around a dead replica).
+type StaticRouter []string
+
+// Candidates implements Router.
+func (r StaticRouter) Candidates(cluster string) []string { return Rank(cluster, r) }
+
+// MarkDead implements Router.
+func (StaticRouter) MarkDead(string) {}
+
+// Client is the retrying HTTP client of the replicated control plane.
+// Every request gets a per-attempt timeout, capped exponential backoff
+// with jitter between attempts, and a retry budget (MaxAttempts). A
+// response that means "this cluster does not live here" — connection
+// refused, timeout, 404, 421, 429, 503 — re-resolves the cluster's
+// home through the Router and tries the next candidate, so a replica
+// failure or a rolling restart is invisible to the caller as long as
+// some replica can adopt the cluster within the budget. Non-idempotent
+// conflicts (409) and client errors (400) are returned immediately,
+// never retried.
+//
+// The client remembers each cluster's last successful replica and
+// tries it first, so steady-state traffic goes straight to the home
+// without re-ranking; the memo is dropped on any failure.
+//
+// A Client is safe for concurrent use.
+type Client struct {
+	// HTTP performs the individual attempts. nil means a vanilla
+	// http.Client (per-attempt deadlines come from RequestTimeout).
+	HTTP *http.Client
+	// MaxAttempts is the retry budget per request, including the first
+	// attempt.
+	MaxAttempts int
+	// BaseBackoff doubles each retry up to MaxBackoff; the actual sleep
+	// is jittered uniformly over [d/2, d).
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+	// RequestTimeout bounds each individual attempt.
+	RequestTimeout time.Duration
+	// Logf logs retry decisions. nil discards.
+	Logf func(format string, args ...any)
+
+	router Router
+
+	// sleep and jitter are test seams: the backoff test injects a fake
+	// clock and a scripted jitter source.
+	sleep  func(ctx context.Context, d time.Duration) error
+	jitter func() float64 // uniform in [0, 1)
+
+	mu    sync.Mutex
+	homes map[string]string // cluster -> last successful replica
+}
+
+// NewClient builds a client over a router with the default retry
+// policy (8 attempts, 50ms..2s backoff, 10s per attempt).
+func NewClient(router Router) *Client {
+	return &Client{
+		MaxAttempts:    8,
+		BaseBackoff:    50 * time.Millisecond,
+		MaxBackoff:     2 * time.Second,
+		RequestTimeout: 10 * time.Second,
+		router:         router,
+		sleep:          realSleep,
+		jitter:         rand.Float64,
+		homes:          make(map[string]string),
+	}
+}
+
+func realSleep(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (c *Client) logf(format string, args ...any) {
+	if c.Logf != nil {
+		c.Logf(format, args...)
+	}
+}
+
+// Result is one final HTTP response: status, headers and the fully
+// read body.
+type Result struct {
+	Status int
+	Header http.Header
+	Body   []byte
+}
+
+// backoff returns the jittered delay before the given retry (retry 1
+// is the first re-attempt).
+func (c *Client) backoff(retry int) time.Duration {
+	d := c.BaseBackoff
+	for i := 1; i < retry && d < c.MaxBackoff; i++ {
+		d *= 2
+	}
+	if d > c.MaxBackoff {
+		d = c.MaxBackoff
+	}
+	return d/2 + time.Duration(c.jitter()*float64(d/2))
+}
+
+// attempt outcomes.
+const (
+	outcomeOK     = iota // done, return the response
+	outcomeRehome        // this replica cannot serve the cluster — try another
+	outcomeRetry         // transient — retry (same replica is fine)
+	outcomeFatal         // done, the error is the caller's
+)
+
+// classify maps an HTTP status to an outcome.
+func classify(status int) int {
+	switch {
+	case status >= 200 && status < 300:
+		return outcomeOK
+	case status == http.StatusNotFound,
+		status == http.StatusMisdirectedRequest,
+		status == http.StatusTooManyRequests,
+		status == http.StatusServiceUnavailable:
+		// Not here / not me / no room / draining-or-restoring: the
+		// cluster can (or will shortly) be served by another replica.
+		return outcomeRehome
+	case status >= 500:
+		return outcomeRetry
+	default:
+		// 400, 409 and friends: retrying cannot help, and re-sending a
+		// non-idempotent request (a delta against a consumed base
+		// cycle) could double-plan. Hand the response back.
+		return outcomeFatal
+	}
+}
+
+// ownerHint extracts the 421 body's ownership hint when it is usable
+// as a base URL.
+func ownerHint(res *Result) string {
+	var e api.ErrorResponse
+	if err := json.Unmarshal(res.Body, &e); err != nil {
+		return ""
+	}
+	if strings.HasPrefix(e.Owner, "http://") || strings.HasPrefix(e.Owner, "https://") {
+		return e.Owner
+	}
+	return ""
+}
+
+func (c *Client) home(cluster string) string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.homes[cluster]
+}
+
+func (c *Client) setHome(cluster, addr string) {
+	c.mu.Lock()
+	c.homes[cluster] = addr
+	c.mu.Unlock()
+}
+
+func (c *Client) forgetHome(cluster, addr string) {
+	c.mu.Lock()
+	if c.homes[cluster] == addr {
+		delete(c.homes, cluster)
+	}
+	c.mu.Unlock()
+}
+
+// pick chooses the replica for this attempt: an explicit owner hint
+// first, then the cluster's memorized home, then the router's ranking
+// — skipping replicas that already failed during this request. When
+// every candidate failed once the avoidance resets: with the budget
+// not yet spent, re-trying a "dead" replica beats giving up.
+func (c *Client) pick(cluster, hint string, avoid map[string]bool) string {
+	if hint != "" && !avoid[hint] {
+		return hint
+	}
+	if home := c.home(cluster); home != "" && !avoid[home] {
+		return home
+	}
+	cands := c.router.Candidates(cluster)
+	for _, a := range cands {
+		if !avoid[a] {
+			return a
+		}
+	}
+	if len(cands) > 0 {
+		for a := range avoid {
+			delete(avoid, a)
+		}
+		return cands[0]
+	}
+	return ""
+}
+
+// send performs one attempt against one replica.
+func (c *Client) send(ctx context.Context, addr, method, path string, body []byte, header http.Header) (*Result, error) {
+	if c.RequestTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.RequestTimeout)
+		defer cancel()
+	}
+	req, err := http.NewRequestWithContext(ctx, method, addr+path, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	for k, vs := range header {
+		req.Header[k] = vs
+	}
+	httpClient := c.HTTP
+	if httpClient == nil {
+		httpClient = http.DefaultClient
+	}
+	resp, err := httpClient.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Status: resp.StatusCode, Header: resp.Header, Body: data}, nil
+}
+
+// Do issues one request for a cluster with the full retry discipline
+// and returns the final response. err is non-nil only when the retry
+// budget ran out (or the caller's context died) — the last response,
+// when there was one, still comes back so a proxy can relay it.
+func (c *Client) Do(ctx context.Context, cluster, method, path string, body []byte, header http.Header) (*Result, error) {
+	var last *Result
+	var lastErr error
+	hint := ""
+	avoid := map[string]bool{}
+	for attempt := 1; attempt <= c.MaxAttempts; attempt++ {
+		if attempt > 1 {
+			if err := c.sleep(ctx, c.backoff(attempt-1)); err != nil {
+				return last, err
+			}
+		}
+		addr := c.pick(cluster, hint, avoid)
+		hint = ""
+		if addr == "" {
+			return nil, fmt.Errorf("replica: no replicas to route cluster %q to", cluster)
+		}
+		res, err := c.send(ctx, addr, method, path, body, header)
+		if err != nil {
+			if ctx.Err() != nil {
+				return last, ctx.Err()
+			}
+			// Transport failure: the replica is gone (or too slow to
+			// count) — tell the router and steer around it.
+			c.logf("replica: %s %s via %s: %v (attempt %d/%d)", method, path, addr, err, attempt, c.MaxAttempts)
+			c.router.MarkDead(addr)
+			c.forgetHome(cluster, addr)
+			avoid[addr] = true
+			lastErr = err
+			continue
+		}
+		last = res
+		switch classify(res.Status) {
+		case outcomeOK:
+			c.setHome(cluster, addr)
+			return res, nil
+		case outcomeRehome:
+			c.logf("replica: %s %s via %s: %d, re-homing (attempt %d/%d)", method, path, addr, res.Status, attempt, c.MaxAttempts)
+			c.forgetHome(cluster, addr)
+			avoid[addr] = true
+			if res.Status == http.StatusMisdirectedRequest {
+				hint = ownerHint(res)
+			}
+			lastErr = fmt.Errorf("replica: %s: HTTP %d", addr, res.Status)
+		case outcomeRetry:
+			c.logf("replica: %s %s via %s: %d, retrying (attempt %d/%d)", method, path, addr, res.Status, attempt, c.MaxAttempts)
+			lastErr = fmt.Errorf("replica: %s: HTTP %d", addr, res.Status)
+		case outcomeFatal:
+			return res, nil
+		}
+	}
+	return last, fmt.Errorf("replica: cluster %q: retry budget (%d attempts) exhausted: %w",
+		cluster, c.MaxAttempts, lastErr)
+}
+
+// statusError turns a non-2xx result into an error carrying the
+// daemon's JSON error body when it has one.
+func statusError(res *Result) error {
+	var e api.ErrorResponse
+	if err := json.Unmarshal(res.Body, &e); err == nil && e.Error != "" {
+		return fmt.Errorf("replica: HTTP %d: %s", res.Status, e.Error)
+	}
+	return fmt.Errorf("replica: HTTP %d", res.Status)
+}
+
+// Plan plans one cycle for req's cluster through whatever replica the
+// router resolves, retrying and re-homing as needed. The request is
+// sent as JSON.
+func (c *Client) Plan(ctx context.Context, req *api.PlanRequest) (*api.PlanResponse, error) {
+	cluster := req.ClusterID
+	if cluster == "" {
+		cluster = "default"
+	}
+	var buf bytes.Buffer
+	if err := api.EncodePlanRequest(&buf, req); err != nil {
+		return nil, err
+	}
+	hdr := http.Header{"Content-Type": []string{api.ContentTypeJSON}}
+	res, err := c.Do(ctx, cluster, http.MethodPost, "/v1/plan", buf.Bytes(), hdr)
+	if err != nil {
+		return nil, err
+	}
+	if res.Status != http.StatusOK {
+		return nil, statusError(res)
+	}
+	return api.DecodePlanResponse(bytes.NewReader(res.Body))
+}
+
+// ErrAlreadyExists reports that a checkpoint PUT hit a cluster that
+// already has a session on the target — for a drain hand-off that
+// means a previous attempt (or another path) already delivered it.
+var ErrAlreadyExists = errors.New("replica: cluster already has a session on the target")
+
+// PutCheckpoint restores a checkpoint into one specific replica (the
+// drain hand-off path — the caller chose the peer, so there is no
+// routing). Transport failures retry against the same address within
+// the budget; a 409 maps to ErrAlreadyExists.
+func (c *Client) PutCheckpoint(ctx context.Context, addr string, ck *api.Checkpoint) error {
+	var buf bytes.Buffer
+	if err := api.EncodeCheckpointBinary(&buf, ck); err != nil {
+		return err
+	}
+	path := "/v1/sessions/" + url.PathEscape(ck.ClusterID) + "/checkpoint"
+	hdr := http.Header{"Content-Type": []string{api.ContentTypeBinary}}
+	var lastErr error
+	for attempt := 1; attempt <= c.MaxAttempts; attempt++ {
+		if attempt > 1 {
+			if err := c.sleep(ctx, c.backoff(attempt-1)); err != nil {
+				return err
+			}
+		}
+		res, err := c.send(ctx, addr, http.MethodPut, path, buf.Bytes(), hdr)
+		if err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			lastErr = err
+			continue
+		}
+		switch {
+		case res.Status >= 200 && res.Status < 300:
+			return nil
+		case res.Status == http.StatusConflict:
+			return ErrAlreadyExists
+		case res.Status >= 500 || res.Status == http.StatusTooManyRequests:
+			lastErr = statusError(res)
+			continue
+		default:
+			return statusError(res)
+		}
+	}
+	return fmt.Errorf("replica: checkpoint PUT to %s: retry budget exhausted: %w", addr, lastErr)
+}

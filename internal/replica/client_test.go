@@ -1,0 +1,283 @@
+package replica
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// scriptStep is one scripted attempt outcome for the fake transport.
+type scriptStep struct {
+	err    error  // transport-level failure (refused, timeout, ...)
+	status int    // otherwise: respond with this status
+	body   string // and this body
+}
+
+// scriptRT replays a fixed failure script, recording each attempt's
+// target URL. Once the script runs out it keeps serving the last step.
+type scriptRT struct {
+	mu    sync.Mutex
+	steps []scriptStep
+	urls  []string
+}
+
+func (rt *scriptRT) RoundTrip(req *http.Request) (*http.Response, error) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	rt.urls = append(rt.urls, req.URL.String())
+	step := rt.steps[len(rt.steps)-1]
+	if n := len(rt.urls) - 1; n < len(rt.steps) {
+		step = rt.steps[n]
+	}
+	if step.err != nil {
+		return nil, step.err
+	}
+	return &http.Response{
+		StatusCode: step.status,
+		Header:     http.Header{"Content-Type": []string{"application/json"}},
+		Body:       io.NopCloser(strings.NewReader(step.body)),
+		Request:    req,
+	}, nil
+}
+
+func (rt *scriptRT) attempts() []string {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return append([]string(nil), rt.urls...)
+}
+
+// newScriptedClient wires a client to a scripted transport and a fake
+// clock that records requested sleeps instead of waiting.
+func newScriptedClient(router Router, steps []scriptStep) (*Client, *scriptRT, *[]time.Duration) {
+	rt := &scriptRT{steps: steps}
+	var slept []time.Duration
+	c := NewClient(router)
+	c.HTTP = &http.Client{Transport: rt}
+	c.sleep = func(ctx context.Context, d time.Duration) error {
+		slept = append(slept, d)
+		return nil
+	}
+	return c, rt, &slept
+}
+
+// markRouter counts MarkDead calls on top of static ring routing.
+type markRouter struct {
+	replicas []string
+	mu       sync.Mutex
+	dead     []string
+}
+
+func (r *markRouter) Candidates(cluster string) []string { return Rank(cluster, r.replicas) }
+func (r *markRouter) MarkDead(addr string) {
+	r.mu.Lock()
+	r.dead = append(r.dead, addr)
+	r.mu.Unlock()
+}
+
+// TestClientScriptedFailover drives the satellite-4 sequence: timeout,
+// connection refused, 503, then success — the request must survive on
+// the fourth attempt with three jittered backoffs in between.
+func TestClientScriptedFailover(t *testing.T) {
+	router := &markRouter{replicas: []string{"http://a:1", "http://b:1", "http://c:1"}}
+	c, rt, slept := newScriptedClient(router, []scriptStep{
+		{err: errors.New("dial tcp: i/o timeout")},
+		{err: errors.New("dial tcp: connection refused")},
+		{status: http.StatusServiceUnavailable, body: `{"error":"draining"}`},
+		{status: http.StatusOK, body: `{"ok":true}`},
+	})
+	res, err := c.Do(context.Background(), "clu", http.MethodPost, "/v1/plan", []byte("{}"), nil)
+	if err != nil {
+		t.Fatalf("Do: %v", err)
+	}
+	if res.Status != http.StatusOK || string(res.Body) != `{"ok":true}` {
+		t.Fatalf("unexpected final response: %d %q", res.Status, res.Body)
+	}
+	urls := rt.attempts()
+	if len(urls) != 4 {
+		t.Fatalf("want 4 attempts, got %d: %v", len(urls), urls)
+	}
+	// The first three failures must each steer to a different replica
+	// (transport failures and 503 all mean "try elsewhere").
+	for i := 1; i < 3; i++ {
+		if urls[i] == urls[i-1] {
+			t.Fatalf("attempt %d reused failed replica %s", i+1, urls[i])
+		}
+	}
+	if got := len(*slept); got != 3 {
+		t.Fatalf("want 3 backoff sleeps, got %d: %v", got, *slept)
+	}
+	// Jitter bounds: retry k sleeps within [d/2, d) for the doubled,
+	// capped base delay d.
+	d := c.BaseBackoff
+	for i, s := range *slept {
+		if s < d/2 || s >= d {
+			t.Fatalf("backoff %d = %v outside [%v, %v)", i+1, s, d/2, d)
+		}
+		if d < c.MaxBackoff {
+			d *= 2
+		}
+	}
+	// Both transport-level failures must have been reported to the
+	// router; the 503 is an HTTP-level answer from a live replica.
+	if len(router.dead) != 2 {
+		t.Fatalf("want 2 MarkDead calls, got %v", router.dead)
+	}
+	// The winning replica is memorized as the cluster's home.
+	if home, want := c.home("clu"), strings.TrimSuffix(urls[3], "/v1/plan"); home != want {
+		t.Fatalf("home after success = %q, want %q", home, want)
+	}
+}
+
+func TestClientBackoffJitterSpread(t *testing.T) {
+	c := NewClient(StaticRouter{"http://a:1"})
+	c.BaseBackoff = 100 * time.Millisecond
+	c.MaxBackoff = 400 * time.Millisecond
+	// jitter() = 0 pins the lower edge d/2; just-below-1 pins the top.
+	c.jitter = func() float64 { return 0 }
+	for retry, want := range map[int]time.Duration{
+		1: 50 * time.Millisecond,
+		2: 100 * time.Millisecond,
+		3: 200 * time.Millisecond,
+		4: 200 * time.Millisecond, // capped at MaxBackoff
+		9: 200 * time.Millisecond,
+	} {
+		if got := c.backoff(retry); got != want {
+			t.Fatalf("backoff(%d) with zero jitter = %v, want %v", retry, got, want)
+		}
+	}
+	c.jitter = func() float64 { return 0.999999 }
+	if got := c.backoff(1); got < 99*time.Millisecond/2 || got >= 100*time.Millisecond {
+		t.Fatalf("backoff(1) with max jitter = %v, want just under %v", got, 100*time.Millisecond)
+	}
+}
+
+func TestClientRetryBudgetExhaustion(t *testing.T) {
+	router := &markRouter{replicas: []string{"http://a:1", "http://b:1"}}
+	c, rt, slept := newScriptedClient(router, []scriptStep{
+		{err: errors.New("dial tcp: connection refused")},
+	})
+	c.MaxAttempts = 5
+	res, err := c.Do(context.Background(), "clu", http.MethodPost, "/v1/plan", nil, nil)
+	if err == nil {
+		t.Fatal("want budget-exhausted error, got nil")
+	}
+	if !strings.Contains(err.Error(), "retry budget") {
+		t.Fatalf("error should name the retry budget: %v", err)
+	}
+	if res != nil {
+		t.Fatalf("no HTTP response ever arrived, want nil result, got %+v", res)
+	}
+	if got := len(rt.attempts()); got != 5 {
+		t.Fatalf("want exactly MaxAttempts=5 attempts, got %d", got)
+	}
+	if got := len(*slept); got != 4 {
+		t.Fatalf("want 4 sleeps between 5 attempts, got %d", got)
+	}
+}
+
+func TestClientNoRetryOnConflict(t *testing.T) {
+	// 409 marks a non-idempotent collision (e.g. a delta against an
+	// already-consumed base cycle). Re-sending could double-apply, so
+	// the client must hand it straight back: one attempt, no sleeps.
+	router := &markRouter{replicas: []string{"http://a:1", "http://b:1"}}
+	c, rt, slept := newScriptedClient(router, []scriptStep{
+		{status: http.StatusConflict, body: `{"error":"session exists"}`},
+	})
+	res, err := c.Do(context.Background(), "clu", http.MethodPost, "/v1/plan", nil, nil)
+	if err != nil {
+		t.Fatalf("a 409 is a response, not a client error: %v", err)
+	}
+	if res.Status != http.StatusConflict {
+		t.Fatalf("want 409 handed back, got %d", res.Status)
+	}
+	if got := len(rt.attempts()); got != 1 {
+		t.Fatalf("409 must not be retried: %d attempts", got)
+	}
+	if len(*slept) != 0 {
+		t.Fatalf("409 must not back off: %v", *slept)
+	}
+}
+
+func TestClientNoRetryOnBadRequest(t *testing.T) {
+	c, rt, _ := newScriptedClient(StaticRouter{"http://a:1"}, []scriptStep{
+		{status: http.StatusBadRequest, body: `{"error":"malformed"}`},
+	})
+	res, err := c.Do(context.Background(), "clu", http.MethodPost, "/v1/plan", nil, nil)
+	if err != nil || res.Status != http.StatusBadRequest {
+		t.Fatalf("want 400 handed back without retry, got res=%+v err=%v", res, err)
+	}
+	if got := len(rt.attempts()); got != 1 {
+		t.Fatalf("400 must not be retried: %d attempts", got)
+	}
+}
+
+func TestClientRehomesOnNotFoundAndOwnerHint(t *testing.T) {
+	replicas := []string{"http://a:1", "http://b:1", "http://c:1"}
+	ranked := Rank("clu", replicas)
+	// The 421 names a specific owner — not the replica the ring would
+	// try next — and the client must jump straight to it.
+	owner := ranked[2]
+	c, rt, _ := newScriptedClient(StaticRouter(replicas), []scriptStep{
+		{status: http.StatusNotFound, body: `{"error":"no session"}`},
+		{status: http.StatusMisdirectedRequest, body: fmt.Sprintf(`{"error":"not my cluster","owner":%q}`, owner)},
+		{status: http.StatusOK, body: `{}`},
+	})
+	res, err := c.Do(context.Background(), "clu", http.MethodPost, "/v1/plan", nil, nil)
+	if err != nil || res.Status != http.StatusOK {
+		t.Fatalf("Do: res=%+v err=%v", res, err)
+	}
+	urls := rt.attempts()
+	if len(urls) != 3 {
+		t.Fatalf("want 3 attempts, got %v", urls)
+	}
+	if want := ranked[0] + "/v1/plan"; urls[0] != want {
+		t.Fatalf("first attempt %s, want ring home %s", urls[0], want)
+	}
+	if want := owner + "/v1/plan"; urls[2] != want {
+		t.Fatalf("after the 421 hint the client must try %s, went to %s", want, urls[2])
+	}
+	// And the hinted owner becomes the memoized home for next time.
+	if got := c.home("clu"); got != owner {
+		t.Fatalf("home after hinted success = %q, want %q", got, owner)
+	}
+}
+
+func TestClientHomeMemoSkipsRanking(t *testing.T) {
+	replicas := []string{"http://a:1", "http://b:1", "http://c:1"}
+	ranked := Rank("clu", replicas)
+	notHome := ranked[1]
+	c, rt, _ := newScriptedClient(StaticRouter(replicas), []scriptStep{
+		{status: http.StatusOK, body: `{}`},
+	})
+	c.setHome("clu", notHome)
+	if _, err := c.Do(context.Background(), "clu", http.MethodGet, "/v1/stats", nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if urls := rt.attempts(); urls[0] != notHome+"/v1/stats" {
+		t.Fatalf("memoized home ignored: went to %s, want %s", urls[0], notHome)
+	}
+}
+
+func TestClientContextCancelStopsRetries(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	c, rt, _ := newScriptedClient(StaticRouter{"http://a:1"}, []scriptStep{
+		{err: errors.New("dial tcp: connection refused")},
+	})
+	c.sleep = func(ctx context.Context, d time.Duration) error {
+		cancel()
+		return ctx.Err()
+	}
+	_, err := c.Do(ctx, "clu", http.MethodPost, "/v1/plan", nil, nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if got := len(rt.attempts()); got != 1 {
+		t.Fatalf("canceled context must stop the loop: %d attempts", got)
+	}
+}

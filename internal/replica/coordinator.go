@@ -1,0 +1,379 @@
+package replica
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"slaplace/api"
+)
+
+// CoordinatorOptions configures a Coordinator.
+type CoordinatorOptions struct {
+	// Replicas are the daemon base URLs (e.g. "http://10.0.0.1:8080").
+	// Their exact spelling matters: a draining daemon's -peers list and
+	// the coordinator's replica list must agree so both sides rank the
+	// same ring.
+	Replicas []string
+	// ProbeEvery is the readiness-probe interval; 0 means 1s.
+	ProbeEvery time.Duration
+	// ProbeTimeout bounds one probe; 0 means 1s.
+	ProbeTimeout time.Duration
+	// MaxBodyBytes caps a forwarded request body; 0 means the serve
+	// default (64 MiB).
+	MaxBodyBytes int64
+	// HTTP performs probes and forwards. nil means http.DefaultClient.
+	HTTP *http.Client
+	// Logf logs replica state transitions. nil discards.
+	Logf func(format string, args ...any)
+}
+
+// replicaState is the coordinator's health view of one daemon.
+type replicaState struct {
+	ready    bool
+	draining bool
+	lastErr  string
+}
+
+// Coordinator places cluster sessions across N placement daemons: it
+// ranks replicas per cluster with rendezvous hashing (Rank), probes
+// each daemon's /v1/readyz on a timer to detect death and draining,
+// and forwards plan traffic through a retrying Client so a failover —
+// the ring's next replica adopting the dead one's sessions from the
+// shared state dir — is invisible to callers. It implements Router,
+// so a Client can also be pointed at it directly, skipping the
+// forwarding hop.
+type Coordinator struct {
+	opts   CoordinatorOptions
+	client *Client
+
+	mu    sync.Mutex
+	state map[string]*replicaState
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// NewCoordinator builds a coordinator over the replica set. Call Start
+// to begin the probe loop (tests drive ProbeOnce by hand instead) and
+// Close to stop it.
+func NewCoordinator(opts CoordinatorOptions) (*Coordinator, error) {
+	if len(opts.Replicas) == 0 {
+		return nil, fmt.Errorf("replica: coordinator needs at least one replica")
+	}
+	seen := make(map[string]bool, len(opts.Replicas))
+	for _, r := range opts.Replicas {
+		if r == "" || seen[r] {
+			return nil, fmt.Errorf("replica: empty or duplicate replica address %q", r)
+		}
+		seen[r] = true
+	}
+	if opts.ProbeEvery <= 0 {
+		opts.ProbeEvery = time.Second
+	}
+	if opts.ProbeTimeout <= 0 {
+		opts.ProbeTimeout = time.Second
+	}
+	c := &Coordinator{
+		opts:  opts,
+		state: make(map[string]*replicaState, len(opts.Replicas)),
+		stop:  make(chan struct{}),
+		done:  make(chan struct{}),
+	}
+	for _, r := range opts.Replicas {
+		// Optimistic start: route immediately, let the first probe (or
+		// the first failed forward) correct the picture.
+		c.state[r] = &replicaState{ready: true}
+	}
+	c.client = NewClient(c)
+	c.client.HTTP = opts.HTTP
+	c.client.Logf = opts.Logf
+	return c, nil
+}
+
+// Client returns the coordinator's retrying client — the one its own
+// forwards go through, shared so callers in the same process reuse the
+// per-cluster home memo.
+func (c *Coordinator) Client() *Client { return c.client }
+
+func (c *Coordinator) logf(format string, args ...any) {
+	if c.opts.Logf != nil {
+		c.opts.Logf(format, args...)
+	}
+}
+
+// Candidates implements Router: the cluster's rendezvous ranking with
+// ready replicas first (in rank order) and not-ready ones kept at the
+// tail — a request should exhaust live options before knocking on a
+// grave, but a fully-dead view must still route somewhere (the view
+// may be stale).
+func (c *Coordinator) Candidates(cluster string) []string {
+	ranked := Rank(cluster, c.opts.Replicas)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ordered := make([]string, 0, len(ranked))
+	var down []string
+	for _, addr := range ranked {
+		if st := c.state[addr]; st != nil && st.ready {
+			ordered = append(ordered, addr)
+		} else {
+			down = append(down, addr)
+		}
+	}
+	return append(ordered, down...)
+}
+
+// MarkDead implements Router: passive failure feedback from forwards,
+// cleared by the next successful probe.
+func (c *Coordinator) MarkDead(addr string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if st := c.state[addr]; st != nil && st.ready {
+		st.ready = false
+		st.lastErr = "marked dead by a failed request"
+		c.logf("replica: %s marked dead by a failed request", addr)
+	}
+}
+
+// probe checks one replica's /v1/readyz.
+func (c *Coordinator) probe(ctx context.Context, addr string) (ready, draining bool, errMsg string) {
+	ctx, cancel := context.WithTimeout(ctx, c.opts.ProbeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, addr+"/v1/readyz", nil)
+	if err != nil {
+		return false, false, err.Error()
+	}
+	httpClient := c.opts.HTTP
+	if httpClient == nil {
+		httpClient = http.DefaultClient
+	}
+	resp, err := httpClient.Do(req)
+	if err != nil {
+		return false, false, err.Error()
+	}
+	defer resp.Body.Close()
+	var ry api.ReadyResponse
+	if err := json.NewDecoder(resp.Body).Decode(&ry); err != nil {
+		return false, false, fmt.Sprintf("readyz body: %v", err)
+	}
+	switch {
+	case resp.StatusCode == http.StatusOK:
+		return true, false, ""
+	case ry.Status == api.ReadyStatusDraining:
+		return false, true, ""
+	default:
+		return false, false, fmt.Sprintf("readyz: HTTP %d (%s)", resp.StatusCode, ry.Status)
+	}
+}
+
+// ProbeOnce probes every replica once, concurrently, and folds the
+// results into the routing state. The probe loop calls it on a timer;
+// tests call it directly.
+func (c *Coordinator) ProbeOnce(ctx context.Context) {
+	type result struct {
+		addr            string
+		ready, draining bool
+		errMsg          string
+	}
+	results := make(chan result, len(c.opts.Replicas))
+	for _, addr := range c.opts.Replicas {
+		go func(addr string) {
+			r := result{addr: addr}
+			r.ready, r.draining, r.errMsg = c.probe(ctx, addr)
+			results <- r
+		}(addr)
+	}
+	for range c.opts.Replicas {
+		r := <-results
+		c.mu.Lock()
+		st := c.state[r.addr]
+		if st.ready != r.ready || st.draining != r.draining {
+			c.logf("replica: %s ready=%v draining=%v (%s)", r.addr, r.ready, r.draining, r.errMsg)
+		}
+		st.ready, st.draining, st.lastErr = r.ready, r.draining, r.errMsg
+		c.mu.Unlock()
+	}
+}
+
+// Start launches the background probe loop.
+func (c *Coordinator) Start() {
+	go func() {
+		defer close(c.done)
+		ticker := time.NewTicker(c.opts.ProbeEvery)
+		defer ticker.Stop()
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		c.ProbeOnce(ctx)
+		for {
+			select {
+			case <-c.stop:
+				return
+			case <-ticker.C:
+				c.ProbeOnce(ctx)
+			}
+		}
+	}()
+}
+
+// Close stops the probe loop. Safe to call without Start (and twice).
+func (c *Coordinator) Close() {
+	c.stopOnce.Do(func() { close(c.stop) })
+	select {
+	case <-c.done:
+	default:
+		// Start was never called; done will never close.
+	}
+}
+
+// Statuses returns every replica's health view, sorted by address.
+func (c *Coordinator) Statuses() []api.ReplicaStatus {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]api.ReplicaStatus, 0, len(c.state))
+	for addr, st := range c.state {
+		out = append(out, api.ReplicaStatus{
+			Addr: addr, Ready: st.ready, Draining: st.draining, LastErr: st.lastErr,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Addr < out[j].Addr })
+	return out
+}
+
+// maxBody returns the configured request-body cap.
+func (c *Coordinator) maxBody() int64 {
+	if c.opts.MaxBodyBytes > 0 {
+		return c.opts.MaxBodyBytes
+	}
+	return 64 << 20
+}
+
+// Handler returns the coordinator's HTTP front end — what
+// cmd/slaplace-proxy listens with:
+//
+//	POST /v1/plan      route a plan request to its cluster's home
+//	                   replica, retrying and re-homing transparently.
+//	                   The body passes through verbatim (JSON or
+//	                   binary), so the proxy adds no re-encode step.
+//	GET  /v1/healthz   the coordinator's own liveness + replica counts.
+//	GET  /v1/replicas  per-replica health as the coordinator sees it.
+func (c *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/plan", c.handlePlan)
+	mux.HandleFunc("GET /v1/healthz", c.handleHealthz)
+	mux.HandleFunc("GET /v1/replicas", c.handleReplicas)
+	return mux
+}
+
+// writeError writes a JSON error body.
+func writeError(w http.ResponseWriter, status int, err error) {
+	w.Header().Set("Content-Type", api.ContentTypeJSON)
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(api.ErrorResponse{Error: err.Error()})
+}
+
+// sniffCluster decodes just enough of a plan request to learn which
+// cluster it is for, honoring the request's codec. Only the cluster ID
+// is pulled out — for binary requests a header-and-ID peek, for JSON a
+// single-field decode — so routing costs nowhere near a full snapshot
+// decode and the serving replica stays the authority on request shape.
+func sniffCluster(body []byte, contentType string) (string, error) {
+	var cluster string
+	if strings.HasPrefix(contentType, api.ContentTypeBinary) {
+		var err error
+		cluster, err = api.PeekPlanRequestClusterBinary(body)
+		if err != nil {
+			return "", err
+		}
+	} else {
+		var sniff struct {
+			ClusterID string `json:"clusterId"`
+		}
+		if err := json.Unmarshal(body, &sniff); err != nil {
+			return "", err
+		}
+		cluster = sniff.ClusterID
+	}
+	if cluster == "" {
+		return "default", nil
+	}
+	return cluster, nil
+}
+
+func (c *Coordinator) handlePlan(w http.ResponseWriter, r *http.Request) {
+	body, err := readAllCapped(r, c.maxBody())
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	cluster, err := sniffCluster(body, r.Header.Get("Content-Type"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	hdr := http.Header{}
+	for _, k := range []string{"Content-Type", "Accept"} {
+		if v := r.Header.Get(k); v != "" {
+			hdr.Set(k, v)
+		}
+	}
+	res, err := c.client.Do(r.Context(), cluster, http.MethodPost, "/v1/plan", body, hdr)
+	if err != nil && res == nil {
+		writeError(w, http.StatusBadGateway, err)
+		return
+	}
+	if err != nil {
+		c.logf("replica: cluster %q: relaying last failure after exhausted retries: %v", cluster, err)
+	}
+	for k, vs := range res.Header {
+		switch k {
+		case "Content-Length", "Connection", "Transfer-Encoding", "Keep-Alive", "Date":
+			// Hop-by-hop / recomputed by our own server.
+		default:
+			w.Header()[k] = vs
+		}
+	}
+	w.WriteHeader(res.Status)
+	_, _ = w.Write(res.Body)
+}
+
+func (c *Coordinator) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	ready := 0
+	for _, st := range c.Statuses() {
+		if st.Ready {
+			ready++
+		}
+	}
+	w.Header().Set("Content-Type", api.ContentTypeJSON)
+	_ = json.NewEncoder(w).Encode(map[string]any{
+		"status":        "ok",
+		"schemaVersion": api.SchemaVersion,
+		"replicas":      len(c.opts.Replicas),
+		"ready":         ready,
+	})
+}
+
+func (c *Coordinator) handleReplicas(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", api.ContentTypeJSON)
+	_ = json.NewEncoder(w).Encode(&api.ReplicasResponse{
+		SchemaVersion: api.SchemaVersion,
+		Replicas:      c.Statuses(),
+	})
+}
+
+// readAllCapped reads a request body under a hard cap.
+func readAllCapped(r *http.Request, limit int64) ([]byte, error) {
+	data, err := io.ReadAll(http.MaxBytesReader(nil, r.Body, limit))
+	var tooLarge *http.MaxBytesError
+	if errors.As(err, &tooLarge) {
+		return nil, fmt.Errorf("replica: request body over %d bytes", limit)
+	}
+	return data, err
+}

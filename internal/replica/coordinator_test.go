@@ -1,0 +1,241 @@
+package replica
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"slaplace/api"
+)
+
+// fakeReplica is a minimal daemon double: a readiness answer plus a
+// /v1/plan echo that records the clusters it was asked to plan.
+type fakeReplica struct {
+	t        *testing.T
+	ready    bool
+	draining bool
+	planned  []string
+	srv      *httptest.Server
+}
+
+func newFakeReplica(t *testing.T, ready bool) *fakeReplica {
+	f := &fakeReplica{t: t, ready: ready}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/readyz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", api.ContentTypeJSON)
+		status, code := api.ReadyStatusReady, http.StatusOK
+		switch {
+		case f.draining:
+			status, code = api.ReadyStatusDraining, http.StatusServiceUnavailable
+		case !f.ready:
+			status, code = api.ReadyStatusRestoring, http.StatusServiceUnavailable
+		}
+		w.WriteHeader(code)
+		_ = json.NewEncoder(w).Encode(api.ReadyResponse{Status: status, SchemaVersion: api.SchemaVersion})
+	})
+	mux.HandleFunc("POST /v1/plan", func(w http.ResponseWriter, r *http.Request) {
+		req, err := api.DecodePlanRequest(r.Body)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		f.planned = append(f.planned, req.ClusterID)
+		w.Header().Set("Content-Type", api.ContentTypeJSON)
+		w.Header().Set("X-Fake-Replica", "yes")
+		_ = json.NewEncoder(w).Encode(map[string]any{"cluster": req.ClusterID})
+	})
+	f.srv = httptest.NewServer(mux)
+	t.Cleanup(f.srv.Close)
+	return f
+}
+
+func planBody(t *testing.T, cluster string) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	err := api.EncodePlanRequest(&buf, &api.PlanRequest{
+		SchemaVersion: api.SchemaVersion,
+		ClusterID:     cluster,
+		Snapshot: &api.Snapshot{
+			SchemaVersion: api.SchemaVersion,
+			Nodes:         []api.Node{{ID: "n0", CPUMHz: 1000, MemMB: 1024}},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestCoordinatorProbeTracksReadiness(t *testing.T) {
+	up := newFakeReplica(t, true)
+	draining := newFakeReplica(t, true)
+	draining.draining = true
+	dead := newFakeReplica(t, true)
+	dead.srv.Close()
+
+	co, err := NewCoordinator(CoordinatorOptions{
+		Replicas:     []string{up.srv.URL, draining.srv.URL, dead.srv.URL},
+		ProbeTimeout: 2 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer co.Close()
+	co.ProbeOnce(context.Background())
+
+	byAddr := map[string]api.ReplicaStatus{}
+	for _, st := range co.Statuses() {
+		byAddr[st.Addr] = st
+	}
+	if st := byAddr[up.srv.URL]; !st.Ready || st.Draining {
+		t.Fatalf("live replica state: %+v", st)
+	}
+	if st := byAddr[draining.srv.URL]; st.Ready || !st.Draining {
+		t.Fatalf("draining replica state: %+v", st)
+	}
+	if st := byAddr[dead.srv.URL]; st.Ready || st.LastErr == "" {
+		t.Fatalf("dead replica state: %+v", st)
+	}
+
+	// Candidates must put the only ready replica first, for every
+	// cluster, while keeping the unready ones reachable at the tail.
+	for _, cluster := range []string{"a", "b", "c", "d"} {
+		cands := co.Candidates(cluster)
+		if len(cands) != 3 {
+			t.Fatalf("Candidates(%q) dropped replicas: %v", cluster, cands)
+		}
+		if cands[0] != up.srv.URL {
+			t.Fatalf("Candidates(%q)[0] = %s, want the ready replica %s", cluster, cands[0], up.srv.URL)
+		}
+	}
+}
+
+func TestCoordinatorForwardsAroundDeadReplica(t *testing.T) {
+	a := newFakeReplica(t, true)
+	b := newFakeReplica(t, true)
+	// Kill one replica without probing first: the coordinator starts
+	// optimistic, so the first forward may well hit the corpse and must
+	// recover via the client's retry/re-home loop.
+	b.srv.Close()
+
+	co, err := NewCoordinator(CoordinatorOptions{Replicas: []string{a.srv.URL, b.srv.URL}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer co.Close()
+	co.Client().BaseBackoff = time.Millisecond
+	co.Client().MaxBackoff = 2 * time.Millisecond
+
+	front := httptest.NewServer(co.Handler())
+	defer front.Close()
+
+	for _, cluster := range []string{"c1", "c2", "c3", "c4"} {
+		resp, err := http.Post(front.URL+"/v1/plan", api.ContentTypeJSON, bytes.NewReader(planBody(t, cluster)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK || out["cluster"] != cluster {
+			t.Fatalf("cluster %s: status %d body %v", cluster, resp.StatusCode, out)
+		}
+		if resp.Header.Get("X-Fake-Replica") != "yes" {
+			t.Fatalf("response headers not relayed from the replica")
+		}
+	}
+	if len(a.planned) != 4 {
+		t.Fatalf("live replica served %d plans, want all 4", len(a.planned))
+	}
+
+	// The failed forward also marked the corpse dead for routing.
+	for _, st := range co.Statuses() {
+		if st.Addr == b.srv.URL && st.Ready {
+			t.Fatalf("dead replica still marked ready after failed forward")
+		}
+	}
+}
+
+func TestCoordinatorReplicasEndpoint(t *testing.T) {
+	up := newFakeReplica(t, true)
+	co, err := NewCoordinator(CoordinatorOptions{Replicas: []string{up.srv.URL}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer co.Close()
+	co.ProbeOnce(context.Background())
+
+	front := httptest.NewServer(co.Handler())
+	defer front.Close()
+
+	resp, err := http.Get(front.URL + "/v1/replicas")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out api.ReplicasResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.SchemaVersion != api.SchemaVersion || len(out.Replicas) != 1 || !out.Replicas[0].Ready {
+		t.Fatalf("unexpected /v1/replicas body: %+v", out)
+	}
+
+	hz, err := http.Get(front.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hz.Body.Close()
+	var h map[string]any
+	if err := json.NewDecoder(hz.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if h["status"] != "ok" || h["ready"].(float64) != 1 {
+		t.Fatalf("unexpected /v1/healthz body: %v", h)
+	}
+}
+
+func TestCoordinatorRejectsBadReplicaSet(t *testing.T) {
+	if _, err := NewCoordinator(CoordinatorOptions{}); err == nil {
+		t.Fatal("empty replica set must be rejected")
+	}
+	if _, err := NewCoordinator(CoordinatorOptions{Replicas: []string{"http://a:1", "http://a:1"}}); err == nil {
+		t.Fatal("duplicate replicas must be rejected")
+	}
+}
+
+func TestCoordinatorBinarySniff(t *testing.T) {
+	a := newFakeReplica(t, true)
+	co, err := NewCoordinator(CoordinatorOptions{Replicas: []string{a.srv.URL}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer co.Close()
+
+	var buf bytes.Buffer
+	err = api.EncodePlanRequestBinary(&buf, &api.PlanRequest{
+		SchemaVersion: api.SchemaVersion,
+		ClusterID:     "bin-clu",
+		Snapshot: &api.Snapshot{
+			SchemaVersion: api.SchemaVersion,
+			Nodes:         []api.Node{{ID: "n0", CPUMHz: 1000, MemMB: 1024}},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cluster, err := sniffCluster(buf.Bytes(), api.ContentTypeBinary)
+	if err != nil || cluster != "bin-clu" {
+		t.Fatalf("binary sniff: cluster=%q err=%v", cluster, err)
+	}
+	cluster, err = sniffCluster(planBody(t, "js-clu"), api.ContentTypeJSON)
+	if err != nil || cluster != "js-clu" {
+		t.Fatalf("json sniff: cluster=%q err=%v", cluster, err)
+	}
+}

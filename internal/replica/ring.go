@@ -1,0 +1,69 @@
+// Package replica is the replicated control plane over the placement
+// daemon (internal/serve, cmd/slaplace-serve): a coordinator that
+// spreads cluster sessions across N daemons via rendezvous hashing,
+// detects replica death through periodic readiness probes, and a
+// retrying client that makes a failover invisible above it — per-
+// request timeouts, capped exponential backoff with jitter, a retry
+// budget, and automatic re-resolution of a cluster's home replica when
+// it moves.
+//
+// The replicas themselves share a -state-dir: session checkpoints and
+// per-cluster ownership claims live there, so when a replica dies the
+// ring's next choice adopts its clusters from disk (restore-on-adopt,
+// digest-verified, exactly-once via the claim files) and the plan
+// sequence continues byte for byte. Graceful shutdown is push instead
+// of pull: a draining daemon PUTs each session's checkpoint into the
+// peer the same ring names, so rolling restarts lose zero plan cycles.
+package replica
+
+import (
+	"hash/fnv"
+	"sort"
+)
+
+// score is one replica's rendezvous weight for one cluster key. FNV-1a
+// is deliberate: the ranking must be identical across processes (the
+// coordinator routing a cluster and a draining daemon choosing the
+// hand-off peer must agree), so a per-process seeded hash cannot be
+// used.
+func score(cluster, addr string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(cluster))
+	h.Write([]byte{0}) // separate the strings so ("ab","c") != ("a","bc")
+	h.Write([]byte(addr))
+	return h.Sum64()
+}
+
+// Rank orders replicas by preference for a cluster: highest rendezvous
+// score first, ties broken by address so the order is total. Every
+// caller with the same inputs computes the same order — that is the
+// routing table, with no state to replicate: removing a dead replica
+// reassigns only its clusters, each to the replica that was already
+// next in its ranking.
+func Rank(cluster string, replicas []string) []string {
+	ranked := append([]string(nil), replicas...)
+	sort.SliceStable(ranked, func(i, j int) bool {
+		si, sj := score(cluster, ranked[i]), score(cluster, ranked[j])
+		if si != sj {
+			return si > sj
+		}
+		return ranked[i] < ranked[j]
+	})
+	return ranked
+}
+
+// Home returns the top-ranked replica for a cluster, "" for an empty
+// replica set.
+func Home(cluster string, replicas []string) string {
+	if len(replicas) == 0 {
+		return ""
+	}
+	best := replicas[0]
+	bestScore := score(cluster, best)
+	for _, r := range replicas[1:] {
+		if s := score(cluster, r); s > bestScore || (s == bestScore && r < best) {
+			best, bestScore = r, s
+		}
+	}
+	return best
+}

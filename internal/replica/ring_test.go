@@ -1,0 +1,97 @@
+package replica
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func TestRankTotalOrderAndStability(t *testing.T) {
+	replicas := []string{"http://a:1", "http://b:1", "http://c:1", "http://d:1"}
+	for i := 0; i < 50; i++ {
+		cluster := fmt.Sprintf("cluster-%d", i)
+		ranked := Rank(cluster, replicas)
+		if len(ranked) != len(replicas) {
+			t.Fatalf("Rank(%q) dropped replicas: %v", cluster, ranked)
+		}
+		seen := map[string]bool{}
+		for _, r := range ranked {
+			seen[r] = true
+		}
+		if len(seen) != len(replicas) {
+			t.Fatalf("Rank(%q) duplicated replicas: %v", cluster, ranked)
+		}
+		// Permutation-invariance: the ranking is a function of the set,
+		// not the slice order — the coordinator and a draining daemon
+		// may hold the replica list in different orders.
+		shuffled := append([]string(nil), replicas...)
+		rand.New(rand.NewSource(int64(i))).Shuffle(len(shuffled), func(a, b int) {
+			shuffled[a], shuffled[b] = shuffled[b], shuffled[a]
+		})
+		if got := Rank(cluster, shuffled); !reflect.DeepEqual(got, ranked) {
+			t.Fatalf("Rank(%q) depends on input order: %v vs %v", cluster, got, ranked)
+		}
+		if Home(cluster, replicas) != ranked[0] {
+			t.Fatalf("Home(%q) = %q, want ranked[0] = %q", cluster, Home(cluster, replicas), ranked[0])
+		}
+	}
+}
+
+func TestRankMinimalDisruption(t *testing.T) {
+	// Rendezvous hashing's point: removing one replica reassigns only
+	// the clusters that replica owned; every other cluster keeps its
+	// home. This is what makes failover re-home only the dead
+	// replica's sessions.
+	replicas := []string{"http://a:1", "http://b:1", "http://c:1", "http://d:1", "http://e:1"}
+	const dead = "http://c:1"
+	var survivors []string
+	for _, r := range replicas {
+		if r != dead {
+			survivors = append(survivors, r)
+		}
+	}
+	moved, kept := 0, 0
+	for i := 0; i < 500; i++ {
+		cluster := fmt.Sprintf("cluster-%d", i)
+		before := Home(cluster, replicas)
+		after := Home(cluster, survivors)
+		if before == dead {
+			moved++
+			// The new home must be the replica that was already ranked
+			// second — the draining/adopting side counts on this.
+			if want := Rank(cluster, replicas)[1]; after != want {
+				t.Fatalf("cluster %q rehomed to %q, want next-in-rank %q", cluster, after, want)
+			}
+			continue
+		}
+		kept++
+		if after != before {
+			t.Fatalf("cluster %q moved from %q to %q though %q was not its home", cluster, before, after, dead)
+		}
+	}
+	if moved == 0 || kept == 0 {
+		t.Fatalf("degenerate distribution: moved=%d kept=%d", moved, kept)
+	}
+}
+
+func TestRankBalance(t *testing.T) {
+	replicas := []string{"http://a:1", "http://b:1", "http://c:1", "http://d:1"}
+	counts := map[string]int{}
+	const n = 4000
+	for i := 0; i < n; i++ {
+		counts[Home(fmt.Sprintf("cluster-%d", i), replicas)]++
+	}
+	want := n / len(replicas)
+	for addr, got := range counts {
+		if got < want/2 || got > want*2 {
+			t.Fatalf("replica %s owns %d of %d clusters, expected near %d", addr, got, n, want)
+		}
+	}
+}
+
+func TestHomeEmpty(t *testing.T) {
+	if got := Home("x", nil); got != "" {
+		t.Fatalf("Home on empty set = %q, want \"\"", got)
+	}
+}

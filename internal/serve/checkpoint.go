@@ -73,8 +73,20 @@ func (s *Server) readCheckpoint(clusterID string) (*api.Checkpoint, error) {
 }
 
 // checkpointLocked exports the session and rolls its state file
-// forward. Caller holds cs.mu.
+// forward, re-asserting the cluster's ownership claim first. Caller
+// holds cs.mu. A depose — another replica took the claim over while
+// ours was stale — retires the local session instead of writing: the
+// new owner is checkpointing this cluster now, and two writers would
+// fork the plan sequence.
 func (s *Server) checkpointLocked(cs *clusterSession, clusterID string) error {
+	if err := s.refreshClaim(clusterID); err != nil {
+		var notOwner *notOwnerError
+		if errors.As(err, &notOwner) {
+			s.retire(clusterID, cs)
+			return fmt.Errorf("deposed: %w", err)
+		}
+		return err
+	}
 	ck, err := exportLocked(cs, clusterID)
 	if err != nil {
 		return err
@@ -121,6 +133,12 @@ func (s *Server) handleCheckpointGet(w http.ResponseWriter, r *http.Request) {
 // controller binding decide the session's shape.
 func (s *Server) handleCheckpointPut(w http.ResponseWriter, r *http.Request) {
 	clusterID := r.PathValue("cluster")
+	if s.draining.Load() {
+		// A daemon on its way out must not accept a migration it would
+		// immediately have to hand off again.
+		httpError(w, http.StatusServiceUnavailable, errors.New("serve: draining"))
+		return
+	}
 	body := http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
 	var ck *api.Checkpoint
 	var err error
@@ -149,6 +167,15 @@ func (s *Server) handleCheckpointPut(w http.ResponseWriter, r *http.Request) {
 	}
 	cs.once.Do(func() {})
 	cs.ready.Store(true)
+
+	// A PUT is an explicit ownership transfer (the drain hand-off
+	// path): take the claim unconditionally, before the session becomes
+	// visible, so the sender's leftover claim never bounces our own
+	// checkpoint refreshes.
+	if err := s.forceClaim(clusterID); err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
 
 	s.mu.Lock()
 	if _, exists := s.sessions[clusterID]; exists {

@@ -1,0 +1,187 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"net/url"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+)
+
+// Per-cluster ownership claims. When several replicas share a state
+// dir, a checkpoint on disk is an invitation to adopt — and without
+// arbitration two replicas scanning after a crash would both restore
+// the same cluster and fork its plan sequence. A claim file
+// (<escaped-cluster>.claim, containing the owner's replica ID) makes
+// adoption exactly-once:
+//
+//   - fresh adoption creates the claim with O_CREATE|O_EXCL — the
+//     filesystem picks exactly one winner;
+//   - a claim whose mtime is older than StaleClaimAfter is presumed
+//     orphaned (its owner stopped checkpointing — every checkpoint
+//     write refreshes the mtime) and may be taken over: the thief
+//     renames the stale file away (POSIX rename: one racer gets it,
+//     the rest get ENOENT) and then competes in the O_EXCL create;
+//   - a fresh claim by someone else is an answer, not an obstacle:
+//     the caller gets notOwnerError carrying the owner's ID, which
+//     the HTTP layer turns into 421 + an owner hint the retrying
+//     client follows.
+//
+// Claims are enabled only when both StateDir and ReplicaID are set; a
+// single-daemon deployment (no ReplicaID) keeps the claimless PR-7
+// behavior bit for bit.
+
+// notOwnerError reports that another replica holds a fresh claim on a
+// cluster. owner is its replica ID — by convention its base URL, so it
+// doubles as a routing hint.
+type notOwnerError struct{ owner string }
+
+func (e *notOwnerError) Error() string {
+	return fmt.Sprintf("cluster is owned by replica %q", e.owner)
+}
+
+// claimsEnabled reports whether ownership arbitration is on.
+func (s *Server) claimsEnabled() bool {
+	return s.opts.StateDir != "" && s.opts.ReplicaID != ""
+}
+
+// claimPath maps a cluster ID to its claim file.
+func (s *Server) claimPath(clusterID string) string {
+	return filepath.Join(s.opts.StateDir, url.PathEscape(clusterID)+".claim")
+}
+
+// readClaim returns a claim file's owner and freshness.
+func readClaim(path string) (owner string, mtime time.Time, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return "", time.Time{}, err
+	}
+	st, err := os.Stat(path)
+	if err != nil {
+		return "", time.Time{}, err
+	}
+	return strings.TrimSpace(string(data)), st.ModTime(), nil
+}
+
+// acquireClaim takes (or refreshes) the cluster's claim for this
+// replica. It returns notOwnerError when another replica holds a fresh
+// claim, nil when the claim is ours on return. No-op when claims are
+// disabled.
+func (s *Server) acquireClaim(clusterID string) error {
+	if !s.claimsEnabled() {
+		return nil
+	}
+	path := s.claimPath(clusterID)
+	for attempt := 0; attempt < 5; attempt++ {
+		f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+		if err == nil {
+			_, werr := f.WriteString(s.opts.ReplicaID + "\n")
+			if serr := f.Sync(); werr == nil {
+				werr = serr
+			}
+			if cerr := f.Close(); werr == nil {
+				werr = cerr
+			}
+			return werr
+		}
+		if !errors.Is(err, os.ErrExist) {
+			return err
+		}
+		owner, mtime, err := readClaim(path)
+		if errors.Is(err, os.ErrNotExist) {
+			continue // deleted between create and read — race again
+		}
+		if err != nil {
+			return err
+		}
+		if owner == s.opts.ReplicaID {
+			now := time.Now()
+			return os.Chtimes(path, now, now)
+		}
+		if time.Since(mtime) < s.opts.StaleClaimAfter {
+			return &notOwnerError{owner: owner}
+		}
+		// Stale: the owner stopped refreshing (dead, or the cluster went
+		// idle on it — either way it will notice the depose on its next
+		// refresh). Exactly one thief wins the rename; losers see ENOENT
+		// and loop back to compete in the O_EXCL create.
+		graveyard := path + ".steal." + url.PathEscape(s.opts.ReplicaID)
+		if err := os.Rename(path, graveyard); err != nil {
+			if errors.Is(err, os.ErrNotExist) {
+				continue
+			}
+			return err
+		}
+		_ = os.Remove(graveyard)
+	}
+	return fmt.Errorf("claim for %q: contention did not settle", clusterID)
+}
+
+// refreshClaim re-asserts ownership (bumping the mtime that keeps the
+// claim fresh). notOwnerError means this replica was deposed — another
+// replica took the claim over while ours was stale — and the caller
+// must retire the session rather than keep writing state the new owner
+// also writes.
+func (s *Server) refreshClaim(clusterID string) error {
+	if !s.claimsEnabled() {
+		return nil
+	}
+	path := s.claimPath(clusterID)
+	owner, _, err := readClaim(path)
+	if errors.Is(err, os.ErrNotExist) {
+		// Released or mid-steal; re-compete.
+		return s.acquireClaim(clusterID)
+	}
+	if err != nil {
+		return err
+	}
+	if owner != s.opts.ReplicaID {
+		return &notOwnerError{owner: owner}
+	}
+	now := time.Now()
+	return os.Chtimes(path, now, now)
+}
+
+// forceClaim asserts ownership unconditionally (atomic write-and-
+// rename), fresh-foreign claims included. Only the checkpoint PUT path
+// uses it: a PUT is an explicit transfer — the sender is draining and
+// chose this replica, which outranks whatever the claim file says.
+func (s *Server) forceClaim(clusterID string) error {
+	if !s.claimsEnabled() {
+		return nil
+	}
+	tmp, err := os.CreateTemp(s.opts.StateDir, ".claim-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.WriteString(s.opts.ReplicaID + "\n"); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), s.claimPath(clusterID))
+}
+
+// releaseClaim deletes the cluster's claim if it is still ours —
+// after a failed drain hand-off, so any replica can adopt immediately
+// instead of waiting out StaleClaimAfter.
+func (s *Server) releaseClaim(clusterID string) {
+	if !s.claimsEnabled() {
+		return
+	}
+	path := s.claimPath(clusterID)
+	owner, _, err := readClaim(path)
+	if err != nil || owner != s.opts.ReplicaID {
+		return
+	}
+	_ = os.Remove(path)
+}

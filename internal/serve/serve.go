@@ -54,6 +54,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"slaplace/api"
 	"slaplace/internal/control"
@@ -81,6 +82,21 @@ type Options struct {
 	// CheckpointEvery is the cycle interval between automatic
 	// checkpoint writes when StateDir is set; 0 means every cycle.
 	CheckpointEvery int
+	// ReplicaID identifies this daemon in a replica fleet — by
+	// convention its advertised base URL ("http://host:port"), so the
+	// ID in a claim file doubles as the 421 routing hint. With StateDir
+	// also set, per-cluster claim files make adoption exactly-once
+	// across replicas sharing the dir (see claim.go). Empty keeps the
+	// single-daemon claimless behavior.
+	ReplicaID string
+	// Peers are the other replicas' base URLs — the drain hand-off
+	// targets, ranked per cluster by the same rendezvous hash the
+	// coordinator routes with.
+	Peers []string
+	// StaleClaimAfter is the claim age past which another replica may
+	// take a cluster over (its owner refreshes on every checkpoint
+	// write); 0 means 10s.
+	StaleClaimAfter time.Duration
 	// Logf logs operational events (corrupt state files, checkpoint
 	// write failures). nil discards.
 	Logf func(format string, args ...any)
@@ -89,6 +105,12 @@ type Options struct {
 // Server multiplexes planning sessions keyed by cluster ID.
 type Server struct {
 	opts Options
+
+	// restoring is set from construction (with a StateDir) until
+	// ScanState finishes; draining from Drain onward. Both turn
+	// /v1/readyz into a 503 — liveness (/v1/healthz) stays 200.
+	restoring atomic.Bool
+	draining  atomic.Bool
 
 	mu       sync.Mutex
 	sessions map[string]*clusterSession
@@ -128,7 +150,14 @@ func New(opts Options) *Server {
 	if opts.CheckpointEvery < 1 {
 		opts.CheckpointEvery = 1
 	}
-	return &Server{opts: opts, sessions: make(map[string]*clusterSession)}
+	if opts.StaleClaimAfter <= 0 {
+		opts.StaleClaimAfter = 10 * time.Second
+	}
+	s := &Server{opts: opts, sessions: make(map[string]*clusterSession)}
+	// A durable server starts not-ready until its owner runs ScanState;
+	// a stateless one has nothing to restore.
+	s.restoring.Store(opts.StateDir != "")
+	return s
 }
 
 func (s *Server) logf(format string, args ...any) {
@@ -142,6 +171,7 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/plan", s.handlePlan)
 	mux.HandleFunc("/v1/healthz", s.handleHealthz)
+	mux.HandleFunc("/v1/readyz", s.handleReadyz)
 	mux.HandleFunc("/v1/stats", s.handleStats)
 	mux.HandleFunc("GET /v1/sessions/{cluster}/checkpoint", s.handleCheckpointGet)
 	mux.HandleFunc("PUT /v1/sessions/{cluster}/checkpoint", s.handleCheckpointPut)
@@ -164,6 +194,11 @@ func (s *Server) session(clusterID string, shards int) (*clusterSession, int, er
 	s.mu.Lock()
 	cs, ok := s.sessions[clusterID]
 	if !ok {
+		if s.draining.Load() {
+			s.mu.Unlock()
+			return nil, http.StatusServiceUnavailable,
+				fmt.Errorf("serve: draining, not taking new clusters")
+		}
 		if s.opts.MaxSessions > 0 && len(s.sessions) >= s.opts.MaxSessions {
 			s.mu.Unlock()
 			return nil, http.StatusTooManyRequests,
@@ -182,7 +217,14 @@ func (s *Server) session(clusterID string, shards int) (*clusterSession, int, er
 			delete(s.sessions, clusterID)
 		}
 		s.mu.Unlock()
-		return nil, http.StatusInternalServerError, cs.initErr
+		status := http.StatusInternalServerError
+		var notOwner *notOwnerError
+		if errors.As(cs.initErr, &notOwner) {
+			// Not a failure: the cluster lives on another replica. 421
+			// plus the owner hint sends the client straight there.
+			status = http.StatusMisdirectedRequest
+		}
+		return nil, status, cs.initErr
 	}
 	return cs, http.StatusOK, nil
 }
@@ -193,6 +235,11 @@ func (s *Server) session(clusterID string, shards int) (*clusterSession, int, er
 // — a daemon must come up after a crash even if the disk lost a race
 // with it.
 func (s *Server) initSession(cs *clusterSession, clusterID string, shards int) error {
+	// Claim before touching state: with replicas sharing the state dir,
+	// exactly one may adopt (or create) a cluster at a time.
+	if err := s.acquireClaim(clusterID); err != nil {
+		return err
+	}
 	if s.opts.StateDir != "" {
 		ck, err := s.readCheckpoint(clusterID)
 		switch {
@@ -266,11 +313,18 @@ func (s *Server) lookup(clusterID string) *clusterSession {
 	return cs
 }
 
-// httpError writes a JSON error body (errors are never binary).
+// httpError writes a JSON error body (errors are never binary). A
+// notOwnerError carries the owning replica's ID into the body's owner
+// field — the hint the retrying client follows after a 421.
 func httpError(w http.ResponseWriter, status int, err error) {
+	resp := api.ErrorResponse{Error: err.Error()}
+	var notOwner *notOwnerError
+	if errors.As(err, &notOwner) {
+		resp.Owner = notOwner.owner
+	}
 	w.Header().Set("Content-Type", api.ContentTypeJSON)
 	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+	_ = json.NewEncoder(w).Encode(resp)
 }
 
 // writeJSON writes one JSON response document.
@@ -393,6 +447,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Status:        "ok",
 		SchemaVersion: api.SchemaVersion,
 		Sessions:      n,
+		ReplicaID:     s.opts.ReplicaID,
 	})
 }
 
@@ -436,6 +491,31 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		resp.Sessions = append(resp.Sessions, ss)
 	}
 	writeJSON(w, resp)
+}
+
+// NewHTTPServer wraps a handler in an http.Server with server-side
+// timeouts set — without them a slow-loris client trickling a request
+// byte at a time holds a connection (and its daemon goroutine) open
+// forever. writeTimeout must cover the slowest plan cycle, so its
+// default is generous.
+func NewHTTPServer(h http.Handler, readTimeout, writeTimeout time.Duration) *http.Server {
+	if readTimeout <= 0 {
+		readTimeout = 30 * time.Second
+	}
+	if writeTimeout <= 0 {
+		writeTimeout = 2 * time.Minute
+	}
+	headerTimeout := readTimeout
+	if headerTimeout > 10*time.Second {
+		headerTimeout = 10 * time.Second
+	}
+	return &http.Server{
+		Handler:           h,
+		ReadTimeout:       readTimeout,
+		ReadHeaderTimeout: headerTimeout,
+		WriteTimeout:      writeTimeout,
+		IdleTimeout:       2 * time.Minute,
+	}
 }
 
 // wireStats converts controller plan stats to their wire form.

@@ -6,9 +6,11 @@ package slaplace_test
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"math"
+	"net/http"
 	"net/http/httptest"
 	"sort"
 	"sync"
@@ -18,6 +20,7 @@ import (
 
 	"slaplace/api"
 	"slaplace/internal/queueing"
+	"slaplace/internal/replica"
 	"slaplace/internal/serve"
 )
 
@@ -274,6 +277,14 @@ func BenchmarkServeCheckpoint(b *testing.B) {
 // per-sweep ns/op, the benchmark reports the p50 and p99 per-request
 // latency — the numbers a multi-tenant operator actually provisions
 // against.
+//
+// The mix runs twice: "direct" against the serve handler itself, and
+// "coordinator" with every request pushed through the
+// replica.Coordinator front end (body buffering, cluster sniff, ring
+// routing, retrying forward) over an in-process transport. The bench
+// gate holds the direct/coordinator ratio, so the pair prices exactly
+// the coordinator's own steady-state overhead with no kernel TCP
+// noise in either side.
 func BenchmarkManyTenantServe(b *testing.B) {
 	type tier struct {
 		count, nodes, jobs int
@@ -347,62 +358,187 @@ func BenchmarkManyTenantServe(b *testing.B) {
 	}
 	tenants = ordered
 
-	srv := serve.New(serve.Options{})
-	do := func(body []byte) int {
-		req := httptest.NewRequest("POST", "/v1/plan", bytes.NewReader(body))
-		req.Header.Set("Content-Type", api.ContentTypeBinary)
-		req.Header.Set("Accept", api.ContentTypeBinary)
-		w := httptest.NewRecorder()
-		srv.Handler().ServeHTTP(w, req)
-		return w.Code
-	}
-	warmStart := time.Now()
-	for _, tn := range tenants {
-		if code := do(tn.warm); code != 200 {
-			b.Fatalf("warm-up for %s: %d", tn.id, code)
+	run := func(b *testing.B, h http.Handler) {
+		do := func(body []byte) int {
+			req := httptest.NewRequest("POST", "/v1/plan", bytes.NewReader(body))
+			req.Header.Set("Content-Type", api.ContentTypeBinary)
+			req.Header.Set("Accept", api.ContentTypeBinary)
+			w := httptest.NewRecorder()
+			h.ServeHTTP(w, req)
+			return w.Code
 		}
-	}
-	warm := time.Since(warmStart)
-
-	// One op is a SWEEP of 100 requests — exactly one proportional
-	// block of the interleave (85 small, 14 medium, 1 large), so every
-	// iteration prices the identical tenant mix and per-request noise
-	// averages out inside the op. Each request cycles its tenant's
-	// demand level, so every plan is a carry-over re-plan, never a
-	// cached replay.
-	const sweep = 100
-	var mu sync.Mutex
-	var latencies []time.Duration
-	var next atomic.Int64
-	b.ResetTimer()
-	b.RunParallel(func(pb *testing.PB) {
-		local := make([]time.Duration, 0, 256)
-		for pb.Next() {
-			for s := 0; s < sweep; s++ {
-				n := next.Add(1)
-				tn := tenants[int(n)%len(tenants)]
-				body := tn.bodies[int(tn.visits.Add(1))%variants]
-				start := time.Now()
-				if code := do(body); code != 200 {
-					b.Errorf("tenant %s: %d", tn.id, code)
-					return
-				}
-				local = append(local, time.Since(start))
+		warmStart := time.Now()
+		for _, tn := range tenants {
+			if code := do(tn.warm); code != 200 {
+				b.Fatalf("warm-up for %s: %d", tn.id, code)
 			}
 		}
-		mu.Lock()
-		latencies = append(latencies, local...)
-		mu.Unlock()
-	})
-	b.StopTimer()
+		warm := time.Since(warmStart)
 
-	if len(latencies) > 0 {
-		sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
-		b.ReportMetric(float64(latencies[len(latencies)/2]), "p50-ns")
-		b.ReportMetric(float64(latencies[len(latencies)*99/100]), "p99-ns")
+		// One op is a SWEEP of 100 requests — exactly one proportional
+		// block of the interleave (85 small, 14 medium, 1 large), so every
+		// iteration prices the identical tenant mix and per-request noise
+		// averages out inside the op. Each request cycles its tenant's
+		// demand level, so every plan is a carry-over re-plan, never a
+		// cached replay.
+		const sweep = 100
+		var mu sync.Mutex
+		var latencies []time.Duration
+		var next atomic.Int64
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			local := make([]time.Duration, 0, 256)
+			for pb.Next() {
+				for s := 0; s < sweep; s++ {
+					n := next.Add(1)
+					tn := tenants[int(n)%len(tenants)]
+					body := tn.bodies[int(tn.visits.Add(1))%variants]
+					start := time.Now()
+					if code := do(body); code != 200 {
+						b.Errorf("tenant %s: %d", tn.id, code)
+						return
+					}
+					local = append(local, time.Since(start))
+				}
+			}
+			mu.Lock()
+			latencies = append(latencies, local...)
+			mu.Unlock()
+		})
+		b.StopTimer()
+
+		if len(latencies) > 0 {
+			sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+			b.ReportMetric(float64(latencies[len(latencies)/2]), "p50-ns")
+			b.ReportMetric(float64(latencies[len(latencies)*99/100]), "p99-ns")
+		}
+		b.ReportMetric(float64(warm.Nanoseconds())/float64(total), "warm-ns")
+		b.ReportMetric(float64(total), "sessions")
 	}
-	b.ReportMetric(float64(warm.Nanoseconds())/float64(total), "warm-ns")
-	b.ReportMetric(float64(total), "sessions")
+
+	b.Run("direct", func(b *testing.B) {
+		run(b, serve.New(serve.Options{}).Handler())
+	})
+
+	b.Run("coordinator", func(b *testing.B) {
+		backend := serve.New(serve.Options{})
+		rt := &fleetTransport{handlers: map[string]http.Handler{
+			"http://replica-0": backend.Handler(),
+		}}
+		co, err := replica.NewCoordinator(replica.CoordinatorOptions{
+			Replicas: []string{"http://replica-0"},
+			HTTP:     &http.Client{Transport: rt},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		run(b, co.Handler())
+	})
+}
+
+// fleetTransport serves client requests in-process straight from each
+// replica's handler — the coordinator benchmarks' network. A killed
+// address fails like a dead daemon: connection refused.
+type fleetTransport struct {
+	mu       sync.Mutex
+	handlers map[string]http.Handler
+}
+
+func (t *fleetTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	t.mu.Lock()
+	h := t.handlers[req.URL.Scheme+"://"+req.URL.Host]
+	t.mu.Unlock()
+	if h == nil {
+		return nil, fmt.Errorf("dial tcp %s: connect: connection refused", req.URL.Host)
+	}
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	resp := w.Result()
+	resp.Request = req
+	return resp, nil
+}
+
+func (t *fleetTransport) kill(addr string) {
+	t.mu.Lock()
+	delete(t.handlers, addr)
+	t.mu.Unlock()
+}
+
+// BenchmarkReplicaFailover prices the recovery guarantee end to end at
+// the medium-tenant shape: a two-replica fleet shares a state dir, the
+// cluster's rendezvous home answers one cycle (claim and checkpoint on
+// disk), then dies. The measured section is the next plan request
+// driven through the coordinator's retrying client: connection
+// refused, re-home, 421 while the survivor still sees a fresh foreign
+// claim, backoff until the claim goes stale, steal, restore from the
+// checkpoint, re-plan, 200. ns/op is the client-observed failover gap
+// — the bench gate tracks its median, and the tail percentiles ride
+// along ungated. The claim TTL and backoff are scaled down together
+// (production defaults would measure configuration, not mechanism).
+func BenchmarkReplicaFailover(b *testing.B) {
+	const nodes, jobs = 50, 300
+	const cluster = "failover"
+	urls := []string{"http://replica-a", "http://replica-b"}
+	home := replica.Home(cluster, urls)
+
+	encode := func(lambda float64) []byte {
+		var buf bytes.Buffer
+		if err := api.EncodePlanRequestBinary(&buf, &api.PlanRequest{
+			ClusterID: cluster, Snapshot: steadyWireSnapshot(b, nodes, jobs, lambda),
+		}); err != nil {
+			b.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	warmBody, failBody := encode(65), encode(65.1)
+	hdr := http.Header{
+		"Content-Type": {api.ContentTypeBinary},
+		"Accept":       {api.ContentTypeBinary},
+	}
+
+	b.Run(fmt.Sprintf("nodes=%d/jobs=%d", nodes, jobs), func(b *testing.B) {
+		var times []time.Duration
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			dir := b.TempDir()
+			handlers := make(map[string]http.Handler, len(urls))
+			for _, u := range urls {
+				handlers[u] = serve.New(serve.Options{
+					StateDir:        dir,
+					ReplicaID:       u,
+					StaleClaimAfter: time.Millisecond,
+				}).Handler()
+			}
+			rt := &fleetTransport{handlers: handlers}
+			co, err := replica.NewCoordinator(replica.CoordinatorOptions{
+				Replicas: urls,
+				HTTP:     &http.Client{Transport: rt},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			cl := co.Client()
+			cl.MaxAttempts = 12
+			cl.BaseBackoff = 250 * time.Microsecond
+			cl.MaxBackoff = 4 * time.Millisecond
+			if res, err := cl.Do(context.Background(), cluster, "POST", "/v1/plan", warmBody, hdr); err != nil || res.Status != 200 {
+				b.Fatalf("warm-up: %v (res %+v)", err, res)
+			}
+			rt.kill(home)
+			b.StartTimer()
+			start := time.Now()
+			res, err := cl.Do(context.Background(), cluster, "POST", "/v1/plan", failBody, hdr)
+			dt := time.Since(start)
+			b.StopTimer()
+			if err != nil || res.Status != 200 {
+				b.Fatalf("failover request: %v (res %+v)", err, res)
+			}
+			times = append(times, dt)
+		}
+		sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+		b.ReportMetric(float64(times[len(times)/2]), "p50-ns")
+		b.ReportMetric(float64(times[len(times)*99/100]), "p99-ns")
+	})
 }
 
 // TestServePlanSessionReuse pins the serving mode's headline
