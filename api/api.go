@@ -235,6 +235,12 @@ type PlanRequest struct {
 	// It only takes effect on the request that creates the session;
 	// 0 or 1 means unsharded. Bounded by MaxShards.
 	Shards int `json:"shards,omitempty"`
+	// Forecast, when set, asks the cluster's session to plan against
+	// predicted rather than observed transactional demand. Like Shards
+	// it only takes effect on the request that creates the session;
+	// later requests may omit it (or repeat it — it is ignored either
+	// way).
+	Forecast *ForecastConfig `json:"forecast,omitempty"`
 }
 
 // MaxShards bounds the PlanRequest.Shards hint (a shard needs at least
@@ -313,6 +319,9 @@ type SessionStats struct {
 	ShardLoadSpread float64    `json:"shardLoadSpread,omitempty"`
 	Reshards        int        `json:"reshards,omitempty"`
 	Stats           *PlanStats `json:"stats,omitempty"`
+	// ForecastPredictor names the session's demand predictor when
+	// forecasting is enabled (omitted for reactive sessions).
+	ForecastPredictor string `json:"forecastPredictor,omitempty"`
 }
 
 // HealthResponse is the body of GET /v1/healthz — liveness: a daemon

@@ -43,7 +43,10 @@ const (
 // BinaryFormatVersion is the binary layout version this build writes.
 // Unlike SchemaVersion it has no tolerance window: additive schema
 // changes change the layout, so decoders accept exactly this version.
-const BinaryFormatVersion = 1
+//
+// Version history: 2 added the forecast hint to plan requests and the
+// forecast state to checkpoints.
+const BinaryFormatVersion = 2
 
 // binaryMagic opens every binary document.
 var binaryMagic = [4]byte{'S', 'L', 'P', 'B'}
@@ -601,6 +604,74 @@ func DecodePlanBinary(r io.Reader) (*Plan, error) {
 	return p, nil
 }
 
+// --- Forecast ---
+
+func (w *binWriter) forecastConfig(c *ForecastConfig) {
+	w.str(c.Predictor)
+	w.intv(c.Window)
+	w.f64(c.HoltAlpha)
+	w.f64(c.HoltBeta)
+	w.intv(c.AROrder)
+	w.boolv(c.CorrectionAlpha != nil)
+	if c.CorrectionAlpha != nil {
+		w.f64(*c.CorrectionAlpha)
+	}
+}
+
+func (r *binReader) forecastConfig() ForecastConfig {
+	c := ForecastConfig{
+		Predictor: r.str(), Window: r.intv(),
+		HoltAlpha: r.f64(), HoltBeta: r.f64(), AROrder: r.intv(),
+	}
+	if r.boolv() {
+		alpha := r.f64()
+		c.CorrectionAlpha = &alpha
+	}
+	return c
+}
+
+func (w *binWriter) forecastState(s *ForecastState) {
+	w.forecastConfig(&s.Config)
+	w.boolv(s.HasNow)
+	w.f64(s.LastNowSec)
+	w.count(len(s.Apps))
+	for _, a := range s.Apps {
+		w.str(a.ID)
+		w.count(len(a.History))
+		for _, v := range a.History {
+			w.f64(v)
+		}
+		w.f64(a.Factor)
+		w.intv(a.CorrectionSamples)
+		w.boolv(a.HasPred)
+		w.f64(a.PredForSec)
+		w.f64(a.Pred)
+	}
+}
+
+func (r *binReader) forecastState() *ForecastState {
+	s := &ForecastState{Config: r.forecastConfig(), HasNow: r.boolv(), LastNowSec: r.f64()}
+	if n := r.count(20); n > 0 {
+		s.Apps = make([]ForecastApp, n)
+		for i := range s.Apps {
+			a := ForecastApp{ID: r.str()}
+			if m := r.count(8); m > 0 {
+				a.History = make([]float64, m)
+				for k := range a.History {
+					a.History[k] = r.f64()
+				}
+			}
+			a.Factor = r.f64()
+			a.CorrectionSamples = r.intv()
+			a.HasPred = r.boolv()
+			a.PredForSec = r.f64()
+			a.Pred = r.f64()
+			s.Apps[i] = a
+		}
+	}
+	return s
+}
+
 // --- PlanRequest ---
 
 func (w *binWriter) delta(d *SnapshotDelta) {
@@ -691,6 +762,10 @@ func EncodePlanRequestBinary(w io.Writer, req *PlanRequest) error {
 	}
 	bw.str(req.Reply)
 	bw.intv(req.Shards)
+	bw.boolv(req.Forecast != nil)
+	if req.Forecast != nil {
+		bw.forecastConfig(req.Forecast)
+	}
 	_, err := w.Write(bw.buf)
 	return err
 }
@@ -725,6 +800,10 @@ func DecodePlanRequestBinary(r io.Reader) (*PlanRequest, error) {
 	}
 	req.Reply = br.str()
 	req.Shards = br.intv()
+	if br.boolv() {
+		fc := br.forecastConfig()
+		req.Forecast = &fc
+	}
 	if err := br.finish(); err != nil {
 		return nil, err
 	}
@@ -738,6 +817,11 @@ func DecodePlanRequestBinary(r io.Reader) (*PlanRequest, error) {
 	}
 	if req.Shards < 0 || req.Shards > MaxShards {
 		return nil, fmt.Errorf("api: shards %d outside [0, %d]", req.Shards, MaxShards)
+	}
+	if req.Forecast != nil {
+		if err := req.Forecast.Validate(); err != nil {
+			return nil, err
+		}
 	}
 	return req, nil
 }
@@ -869,6 +953,10 @@ func EncodeCheckpointBinary(w io.Writer, c *Checkpoint) error {
 		bw.uvarint(uint64(c.Plan.SchemaVersion))
 		bw.planBody(c.Plan)
 	}
+	bw.boolv(c.Forecast != nil)
+	if c.Forecast != nil {
+		bw.forecastState(c.Forecast)
+	}
 	_, err := w.Write(bw.buf)
 	return err
 }
@@ -915,6 +1003,9 @@ func DecodeCheckpointBinary(r io.Reader) (*Checkpoint, error) {
 			}
 		}
 		c.Plan = br.planBody(planVersion)
+	}
+	if br.boolv() {
+		c.Forecast = br.forecastState()
 	}
 	if err := br.finish(); err != nil {
 		return nil, err

@@ -43,6 +43,11 @@ type Checkpoint struct {
 	// planned yet (Cycle 0).
 	Snapshot *Snapshot `json:"snapshot,omitempty"`
 	Plan     *Plan     `json:"plan,omitempty"`
+	// Forecast is the session's demand-forecasting state (nil when
+	// forecasting is disabled). The snapshot above holds *observed*
+	// demand, so a restore re-runs the checkpointed cycle's forecasts
+	// from this state and reproduces the checkpointed plan.
+	Forecast *ForecastState `json:"forecast,omitempty"`
 }
 
 // Validate reports wire-level checkpoint errors.
@@ -81,6 +86,11 @@ func (c *Checkpoint) Validate() error {
 		}
 		if i > 0 && b < c.ShardBounds[i-1] {
 			return fmt.Errorf("api: checkpoint shard bounds not monotonic at %d", i)
+		}
+	}
+	if c.Forecast != nil {
+		if err := c.Forecast.Validate(); err != nil {
+			return fmt.Errorf("api: checkpoint: %w", err)
 		}
 	}
 	return nil

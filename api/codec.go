@@ -149,6 +149,11 @@ func DecodePlanRequest(r io.Reader) (*PlanRequest, error) {
 	if req.Shards < 0 || req.Shards > MaxShards {
 		return nil, fmt.Errorf("api: shards %d outside [0, %d]", req.Shards, MaxShards)
 	}
+	if req.Forecast != nil {
+		if err := req.Forecast.Validate(); err != nil {
+			return nil, err
+		}
+	}
 	return &req, nil
 }
 

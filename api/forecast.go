@@ -1,0 +1,143 @@
+package api
+
+import (
+	"fmt"
+
+	"slaplace/internal/forecast"
+)
+
+// ForecastConfig is the wire form of a session's demand-forecasting
+// configuration (internal/forecast.Config). Zero-valued fields take the
+// forecaster's defaults, except correctionAlpha where an omitted field
+// means the default and an explicit 0 disables correction — the
+// pointer keeps the two distinguishable on the wire.
+type ForecastConfig struct {
+	// Predictor is "constant", "holt" or "ar" ("" = holt).
+	Predictor string  `json:"predictor,omitempty"`
+	Window    int     `json:"window,omitempty"`
+	HoltAlpha float64 `json:"holtAlpha,omitempty"`
+	HoltBeta  float64 `json:"holtBeta,omitempty"`
+	AROrder   int     `json:"arOrder,omitempty"`
+	// CorrectionAlpha is the correction-feedback EWMA weight; nil means
+	// the default (0.25), an explicit 0 disables correction.
+	CorrectionAlpha *float64 `json:"correctionAlpha,omitempty"`
+}
+
+// Config converts to the forecaster's config type.
+func (c *ForecastConfig) Config() forecast.Config {
+	out := forecast.Config{
+		Predictor: c.Predictor,
+		Window:    c.Window,
+		HoltAlpha: c.HoltAlpha,
+		HoltBeta:  c.HoltBeta,
+		AROrder:   c.AROrder,
+	}
+	if c.CorrectionAlpha != nil {
+		out.CorrectionAlpha = *c.CorrectionAlpha
+	} else {
+		out.CorrectionAlpha = forecast.DefaultConfig().CorrectionAlpha
+	}
+	return out
+}
+
+// ForecastConfigFromConfig converts a forecaster config to wire form.
+func ForecastConfigFromConfig(c forecast.Config) *ForecastConfig {
+	alpha := c.CorrectionAlpha
+	return &ForecastConfig{
+		Predictor:       c.Predictor,
+		Window:          c.Window,
+		HoltAlpha:       c.HoltAlpha,
+		HoltBeta:        c.HoltBeta,
+		AROrder:         c.AROrder,
+		CorrectionAlpha: &alpha,
+	}
+}
+
+// Validate reports wire-level forecast-config errors.
+func (c *ForecastConfig) Validate() error {
+	if err := c.Config().Validate(); err != nil {
+		return fmt.Errorf("api: forecast config: %w", err)
+	}
+	return nil
+}
+
+// ForecastApp is one application's forecasting state on the wire.
+type ForecastApp struct {
+	ID string `json:"id"`
+	// History is the chronological observation window, oldest first.
+	History []float64 `json:"history,omitempty"`
+	// Factor is the current correction factor (0 means unprimed,
+	// treated as 1).
+	Factor            float64 `json:"factor,omitempty"`
+	CorrectionSamples int     `json:"correctionSamples,omitempty"`
+	// HasPred/PredForSec/Pred carry the cached prediction of the cycle
+	// at PredForSec, so a restored session replays instead of
+	// re-observing.
+	HasPred    bool    `json:"hasPred,omitempty"`
+	PredForSec float64 `json:"predForSec,omitempty"`
+	Pred       float64 `json:"pred,omitempty"`
+}
+
+// ForecastState is the wire form of a forecaster's exported state
+// (internal/forecast.State): what rides the checkpoint so a restored
+// or failed-over session forecasts identically. Apps are sorted by ID
+// (canonical form).
+type ForecastState struct {
+	Config ForecastConfig `json:"config"`
+	HasNow bool           `json:"hasNow,omitempty"`
+	// LastNowSec is the snapshot time of the last forecast cycle.
+	LastNowSec float64       `json:"lastNowSec,omitempty"`
+	Apps       []ForecastApp `json:"apps,omitempty"`
+}
+
+// State converts to the forecaster's state type.
+func (s *ForecastState) State() *forecast.State {
+	out := &forecast.State{
+		Config:  s.Config.Config(),
+		HasNow:  s.HasNow,
+		LastNow: s.LastNowSec,
+	}
+	for _, a := range s.Apps {
+		out.Apps = append(out.Apps, forecast.AppState{
+			ID:                a.ID,
+			History:           append([]float64(nil), a.History...),
+			Factor:            a.Factor,
+			CorrectionSamples: a.CorrectionSamples,
+			HasPred:           a.HasPred,
+			PredFor:           a.PredForSec,
+			Pred:              a.Pred,
+		})
+	}
+	return out
+}
+
+// ForecastStateFromState converts a forecaster state to wire form.
+func ForecastStateFromState(st *forecast.State) *ForecastState {
+	out := &ForecastState{
+		Config:     *ForecastConfigFromConfig(st.Config),
+		HasNow:     st.HasNow,
+		LastNowSec: st.LastNow,
+	}
+	for _, a := range st.Apps {
+		out.Apps = append(out.Apps, ForecastApp{
+			ID:                a.ID,
+			History:           append([]float64(nil), a.History...),
+			Factor:            a.Factor,
+			CorrectionSamples: a.CorrectionSamples,
+			HasPred:           a.HasPred,
+			PredForSec:        a.PredFor,
+			Pred:              a.Pred,
+		})
+	}
+	return out
+}
+
+// Validate reports wire-level forecast-state errors by delegating to
+// the forecaster's own state validation (sortedness, finiteness,
+// window bounds).
+func (s *ForecastState) Validate() error {
+	if err := s.State().Validate(); err != nil {
+		return fmt.Errorf("api: forecast state: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,174 @@
+package api
+
+import (
+	"bytes"
+	"testing"
+
+	"slaplace/internal/forecast"
+)
+
+// sampleForecastState builds a non-trivial forecast state by running a
+// real forecaster, so the wire fixtures stay honest about what the
+// checkpoint path actually carries.
+func sampleForecastState(t *testing.T) *ForecastState {
+	t.Helper()
+	f, err := forecast.New(forecast.Config{Predictor: forecast.PredictorHolt, CorrectionAlpha: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 12; i++ {
+		now := float64(600 * i)
+		f.Forecast("web", now, 20+3*float64(i))
+		f.Forecast("store", now, 90-2*float64(i))
+	}
+	return ForecastStateFromState(f.Export())
+}
+
+// TestForecastConfigConvert: wire → forecast.Config → wire keeps the
+// correction-alpha tristate (nil = default, explicit 0 = disabled).
+func TestForecastConfigConvert(t *testing.T) {
+	defaulted := &ForecastConfig{Predictor: "ar", Window: 12, AROrder: 2}
+	if got := defaulted.Config().CorrectionAlpha; got != forecast.DefaultConfig().CorrectionAlpha {
+		t.Errorf("omitted correctionAlpha = %v, want default %v",
+			got, forecast.DefaultConfig().CorrectionAlpha)
+	}
+	zero := 0.0
+	disabled := &ForecastConfig{CorrectionAlpha: &zero}
+	if got := disabled.Config().CorrectionAlpha; got != 0 {
+		t.Errorf("explicit 0 correctionAlpha = %v, want 0 (disabled)", got)
+	}
+	if err := (&ForecastConfig{Predictor: "arima"}).Validate(); err == nil {
+		t.Error("unknown predictor accepted")
+	}
+	if err := (&ForecastConfig{Window: -3}).Validate(); err == nil {
+		t.Error("negative window accepted")
+	}
+}
+
+// TestForecastStateRoundTrip: wire state → forecast.State → restored
+// forecaster → re-exported wire state is identical (the checkpoint
+// contract at the conversion layer).
+func TestForecastStateRoundTrip(t *testing.T) {
+	ws := sampleForecastState(t)
+	if err := ws.Validate(); err != nil {
+		t.Fatalf("sample state invalid: %v", err)
+	}
+	f, err := forecast.Restore(ws.State())
+	if err != nil {
+		t.Fatal(err)
+	}
+	again := ForecastStateFromState(f.Export())
+	want := jsonBytes(t, func(b *bytes.Buffer) error { return encode(b, ws) })
+	got := jsonBytes(t, func(b *bytes.Buffer) error { return encode(b, again) })
+	if !bytes.Equal(want, got) {
+		t.Errorf("state altered across restore:\n%s\n%s", want, got)
+	}
+
+	bad := sampleForecastState(t)
+	bad.Apps[0].History = []float64{-1}
+	if err := bad.Validate(); err == nil {
+		t.Error("negative history accepted")
+	}
+	unsorted := sampleForecastState(t)
+	unsorted.Apps[0].ID, unsorted.Apps[1].ID = "z", "a"
+	if err := unsorted.Validate(); err == nil {
+		t.Error("unsorted apps accepted")
+	}
+}
+
+// TestBinaryPlanRequestForecastRoundTrip: the forecast hint survives
+// the binary wire, and an invalid hint is rejected by both codecs.
+func TestBinaryPlanRequestForecastRoundTrip(t *testing.T) {
+	st := sampleState(t)
+	snap, err := FromCoreState(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alpha := 0.5
+	req := &PlanRequest{
+		ClusterID: "c1", Snapshot: snap,
+		Forecast: &ForecastConfig{Predictor: "holt", Window: 8, CorrectionAlpha: &alpha},
+	}
+	var bin bytes.Buffer
+	if err := EncodePlanRequestBinary(&bin, req); err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := DecodePlanRequestBinary(bytes.NewReader(bin.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantJSON := jsonBytes(t, func(b *bytes.Buffer) error { return EncodePlanRequest(b, req) })
+	gotJSON := jsonBytes(t, func(b *bytes.Buffer) error { return EncodePlanRequest(b, decoded) })
+	if !bytes.Equal(wantJSON, gotJSON) {
+		t.Errorf("binary round trip altered the forecast hint:\n%s\n%s", wantJSON, gotJSON)
+	}
+
+	bad := &PlanRequest{ClusterID: "c1", Snapshot: snap,
+		Forecast: &ForecastConfig{Predictor: "arima"}}
+	bin.Reset()
+	if err := EncodePlanRequestBinary(&bin, bad); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodePlanRequestBinary(bytes.NewReader(bin.Bytes())); err == nil {
+		t.Error("binary decoder accepted an invalid forecast hint")
+	}
+	badJSON := jsonBytes(t, func(b *bytes.Buffer) error { return EncodePlanRequest(b, bad) })
+	if _, err := DecodePlanRequest(bytes.NewReader(badJSON)); err == nil {
+		t.Error("JSON decoder accepted an invalid forecast hint")
+	}
+}
+
+// TestBinaryCheckpointForecastRoundTrip: forecast state rides the
+// checkpoint through both codecs; the binary form stays canonical.
+func TestBinaryCheckpointForecastRoundTrip(t *testing.T) {
+	st := sampleState(t)
+	snap, err := FromCoreState(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck := &Checkpoint{
+		ClusterID: "c1", Controller: "placement", Cycle: 4,
+		HasNow: true, LastNowSec: 2400,
+		Snapshot: snap, Plan: &Plan{SchemaVersion: 1},
+		Forecast: sampleForecastState(t),
+	}
+	var bin bytes.Buffer
+	if err := EncodeCheckpointBinary(&bin, ck); err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := DecodeCheckpointBinary(bytes.NewReader(bin.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantJSON := jsonBytes(t, func(b *bytes.Buffer) error { return EncodeCheckpoint(b, ck) })
+	gotJSON := jsonBytes(t, func(b *bytes.Buffer) error { return EncodeCheckpoint(b, decoded) })
+	if !bytes.Equal(wantJSON, gotJSON) {
+		t.Errorf("binary round trip altered the checkpoint forecast:\n%s\n%s", wantJSON, gotJSON)
+	}
+	var bin2 bytes.Buffer
+	if err := EncodeCheckpointBinary(&bin2, decoded); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(bin.Bytes(), bin2.Bytes()) {
+		t.Error("binary checkpoint encoding not canonical with forecast state")
+	}
+
+	// JSON codec agrees.
+	var js bytes.Buffer
+	if err := EncodeCheckpoint(&js, ck); err != nil {
+		t.Fatal(err)
+	}
+	fromJSON, err := DecodeCheckpoint(bytes.NewReader(js.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fromJSON.Forecast == nil || len(fromJSON.Forecast.Apps) != len(ck.Forecast.Apps) {
+		t.Error("JSON checkpoint dropped forecast state")
+	}
+
+	// A checkpoint with corrupt forecast state is rejected.
+	ck.Forecast.Apps[0].History = []float64{-1}
+	if err := ck.Validate(); err == nil {
+		t.Error("checkpoint with invalid forecast state accepted")
+	}
+}

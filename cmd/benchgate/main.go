@@ -323,7 +323,7 @@ func compare(baseline, fresh map[string]float64, tolerance float64, ungated []st
 
 func main() {
 	var (
-		bench = flag.String("bench", "BenchmarkPlacementScale|BenchmarkServePlan|BenchmarkShardedPlacement|BenchmarkServeCheckpoint|BenchmarkManyTenantServe|BenchmarkReplicaFailover", "benchmark regex to run")
+		bench = flag.String("bench", "BenchmarkPlacementScale|BenchmarkServePlan|BenchmarkShardedPlacement|BenchmarkServeCheckpoint|BenchmarkManyTenantServe|BenchmarkReplicaFailover|BenchmarkForecast", "benchmark regex to run")
 		pkg   = flag.String("pkg", ".", "package pattern holding the benchmarks")
 		// Time-based so micro-shapes get hundreds of iterations (stable
 		// medians) while the 2000-node shape still runs just once or

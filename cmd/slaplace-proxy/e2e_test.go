@@ -21,8 +21,10 @@ import (
 
 	"slaplace/api"
 	"slaplace/internal/baseline"
+	"slaplace/internal/control"
 	"slaplace/internal/core"
 	"slaplace/internal/experiments"
+	"slaplace/internal/forecast"
 	"slaplace/internal/replica"
 )
 
@@ -193,7 +195,7 @@ func pickPorts(t *testing.T, n int) []string {
 // startFleet launches n slaplace-serve replicas over one shared state
 // dir, each knowing its own URL and its peers, plus a proxy fronting
 // them. Returns the replica procs (indexed like urls) and the proxy.
-func startFleet(t *testing.T, serveBin, proxyBin, stateDir, controller string, n int) (replicas []*proc, urls []string, proxy *proc) {
+func startFleet(t *testing.T, serveBin, proxyBin, stateDir, controller string, n int, extra ...string) (replicas []*proc, urls []string, proxy *proc) {
 	t.Helper()
 	addrs := pickPorts(t, n)
 	urls = make([]string, n)
@@ -207,14 +209,16 @@ func startFleet(t *testing.T, serveBin, proxyBin, stateDir, controller string, n
 				peers = append(peers, u)
 			}
 		}
-		replicas = append(replicas, startProc(t, serveBin,
+		args := []string{
 			"-addr", a,
 			"-state-dir", stateDir,
 			"-controller", controller,
 			"-replica-id", urls[i],
 			"-peers", strings.Join(peers, ","),
 			"-claim-ttl", "500ms",
-		))
+		}
+		args = append(args, extra...)
+		replicas = append(replicas, startProc(t, serveBin, args...))
 	}
 	proxy = startProc(t, proxyBin,
 		"-addr", "127.0.0.1:0",
@@ -422,4 +426,72 @@ func TestRollingRestartZeroLoss(t *testing.T) {
 		t.Errorf("plan-sequence digest across rolling restart = %s, want golden %s", got, want)
 	}
 	fmt.Printf("e2e rolling restart: %d cycles, zero lost, SIGTERM drain of %s\n", len(snaps), home)
+}
+
+// TestFailoverForecastEndToEnd proves forecast state survives replica
+// failover: a 3-replica fleet started with -forecast holt, the
+// cluster's home replica killed -9 mid-traffic, and every plan the
+// client sees — before and after the adoption — must digest-match an
+// uninterrupted in-process predictive session. The adopting replica
+// rebuilds the predictor (history windows, Holt smoothing state,
+// correction factors) from the shared state dir alone.
+func TestFailoverForecastEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and drives a real 3-replica fleet")
+	}
+	serveBin, proxyBin := buildBinaries(t)
+
+	snaps := captureSnapshots(t, func() core.Controller { return core.New(core.DefaultConfig()) })
+
+	// The uninterrupted reference: an in-process session with the same
+	// configuration the -forecast holt flag builds on every replica.
+	cfg := forecast.DefaultConfig()
+	cfg.Predictor = forecast.PredictorHolt
+	ref, err := control.NewSession(core.New(core.DefaultConfig()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ref.EnableForecast(cfg); err != nil {
+		t.Fatal(err)
+	}
+	var want []string
+	for _, snap := range snaps {
+		plan, _, err := ref.Propose(snap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		corePlan, err := plan.CorePlan()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, corePlan.Digest())
+	}
+
+	stateDir := t.TempDir()
+	replicas, urls, proxy := startFleet(t, serveBin, proxyBin, stateDir, "utility", 3,
+		"-forecast", "holt")
+
+	home := replica.Home("e2e", urls)
+	homeIdx := -1
+	for i, u := range urls {
+		if u == home {
+			homeIdx = i
+		}
+	}
+
+	half := len(snaps) / 2
+	for i := 0; i < half; i++ {
+		if got := planVia(t, proxy.url, snaps[i], i+1); got != want[i] {
+			t.Fatalf("cycle %d: predictive plan digest %s, want %s", i+1, got, want[i])
+		}
+	}
+
+	replicas[homeIdx].kill9()
+
+	for i := half; i < len(snaps); i++ {
+		if got := planVia(t, proxy.url, snaps[i], i+1); got != want[i] {
+			t.Fatalf("cycle %d (post-failover): predictive plan digest %s, want %s", i+1, got, want[i])
+		}
+	}
+	fmt.Printf("e2e forecast failover: %d predictive cycles across kill -9 of %s\n", len(snaps), home)
 }

@@ -14,7 +14,8 @@
 // Endpoints:
 //
 //	POST /v1/plan      forwarded to the cluster's home replica (JSON or
-//	                   binary body, passed through verbatim)
+//	                   binary body, passed through verbatim — including
+//	                   shards and forecast hints)
 //	GET  /v1/healthz   the proxy's own liveness + ready-replica count
 //	GET  /v1/replicas  per-replica health as the proxy sees it
 //

@@ -17,8 +17,10 @@ import (
 	"time"
 
 	"slaplace/api"
+	"slaplace/internal/control"
 	"slaplace/internal/core"
 	"slaplace/internal/experiments"
+	"slaplace/internal/forecast"
 )
 
 // captureController records every planned snapshot in wire form
@@ -45,10 +47,12 @@ type daemon struct {
 }
 
 // startDaemon launches the built binary on an ephemeral port and
-// parses the bound address from its log output.
-func startDaemon(t *testing.T, bin, stateDir string) *daemon {
+// parses the bound address from its log output. Extra flags are
+// appended verbatim.
+func startDaemon(t *testing.T, bin, stateDir string, extra ...string) *daemon {
 	t.Helper()
-	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-state-dir", stateDir)
+	args := append([]string{"-addr", "127.0.0.1:0", "-state-dir", stateDir}, extra...)
+	cmd := exec.Command(bin, args...)
 	stderr, err := cmd.StderrPipe()
 	if err != nil {
 		t.Fatal(err)
@@ -201,5 +205,98 @@ func TestCrashRestartEndToEnd(t *testing.T) {
 	if len(stats.Sessions) == 1 {
 		fmt.Printf("e2e: %d cycles across kill -9, controller %s\n",
 			stats.Sessions[0].Cycles, stats.Sessions[0].Controller)
+	}
+}
+
+// TestCrashRestartForecastEndToEnd proves forecast state rides the
+// checkpoint through a real kill -9: a daemon started with -forecast
+// holt plans half the golden snapshot sequence, dies hard, and a
+// fresh process — deliberately started WITHOUT the -forecast flag —
+// resumes over the same state dir. The checkpoint alone must re-arm
+// prediction: every plan across the crash must digest-match an
+// uninterrupted in-process predictive session, and the restarted
+// daemon's stats must still name the predictor.
+func TestCrashRestartForecastEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and drives the real daemon")
+	}
+
+	cap := &captureController{inner: core.New(core.DefaultConfig())}
+	if _, err := experiments.Run(experiments.BaselineScenario(42, cap)); err != nil {
+		t.Fatal(err)
+	}
+	snaps := cap.snaps
+	if len(snaps) < 2 {
+		t.Fatalf("golden run too short: %d snapshots", len(snaps))
+	}
+
+	// The uninterrupted reference: an in-process session with the same
+	// configuration the -forecast holt flag builds.
+	cfg := forecast.DefaultConfig()
+	cfg.Predictor = forecast.PredictorHolt
+	ref, err := control.NewSession(core.New(core.DefaultConfig()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ref.EnableForecast(cfg); err != nil {
+		t.Fatal(err)
+	}
+	var want []string
+	for _, snap := range snaps {
+		plan, _, err := ref.Propose(snap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		corePlan, err := plan.CorePlan()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, corePlan.Digest())
+	}
+
+	tmp := t.TempDir()
+	bin := filepath.Join(tmp, "slaplace-serve")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	stateDir := filepath.Join(tmp, "state")
+	if err := os.MkdirAll(stateDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+
+	half := len(snaps) / 2
+	d := startDaemon(t, bin, stateDir, "-forecast", "holt")
+	for i := 0; i < half; i++ {
+		if got := d.plan(t, snaps[i], i+1); got != want[i] {
+			t.Fatalf("cycle %d: predictive plan digest %s, want %s", i+1, got, want[i])
+		}
+	}
+	d.kill9(t)
+
+	// No -forecast flag here: the restored checkpoint must carry it.
+	d = startDaemon(t, bin, stateDir)
+	defer d.kill9(t)
+	for i := half; i < len(snaps); i++ {
+		if got := d.plan(t, snaps[i], i+1); got != want[i] {
+			t.Fatalf("cycle %d (post-restart): predictive plan digest %s, want %s", i+1, got, want[i])
+		}
+	}
+
+	resp, err := http.Get(d.url + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats api.StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if len(stats.Sessions) != 1 || stats.Sessions[0].Cycles != len(snaps) {
+		t.Errorf("restored session stats: %+v", stats.Sessions)
+	}
+	if len(stats.Sessions) == 1 && stats.Sessions[0].ForecastPredictor != forecast.PredictorHolt {
+		t.Errorf("restored session forecast predictor = %q, want %q",
+			stats.Sessions[0].ForecastPredictor, forecast.PredictorHolt)
 	}
 }

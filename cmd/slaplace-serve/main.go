@@ -31,6 +31,14 @@
 //	curl -s localhost:8080/v1/stats
 //	curl -s localhost:8080/v1/sessions/default/checkpoint
 //
+// With -forecast the daemon plans predictively: each session forecasts
+// next-cycle demand per application (constant, holt, or ar predictor
+// with Dynamo-style correction feedback) and places against the
+// prediction instead of the last observation. Clients can also enable
+// it per session via the "forecast" field of the first plan request;
+// the forecaster's state rides the checkpoint, so prediction survives
+// restarts and failover.
+//
 // Clients may negotiate the compact binary codec per request with
 // "Content-Type: application/x-slaplace-binary" (request body) and
 // "Accept: application/x-slaplace-binary" (response); JSON remains the
@@ -54,6 +62,7 @@ import (
 	"slaplace/api"
 	"slaplace/internal/baseline"
 	"slaplace/internal/core"
+	"slaplace/internal/forecast"
 	"slaplace/internal/serve"
 )
 
@@ -93,6 +102,10 @@ func main() {
 		readTimeout  = flag.Duration("read-timeout", 30*time.Second, "HTTP server read timeout (slow-loris guard)")
 		writeTimeout = flag.Duration("write-timeout", 2*time.Minute, "HTTP server write timeout (must cover the slowest plan cycle)")
 
+		fcPredictor  = flag.String("forecast", "", "enable demand forecasting for new sessions: constant, holt, or ar (empty = reactive; per-request hints still honored)")
+		fcWindow     = flag.Int("forecast-window", 0, "forecast observation window in cycles (0 = default)")
+		fcCorrection = flag.Float64("forecast-correction", forecast.DefaultConfig().CorrectionAlpha, "correction-feedback EWMA weight in [0,1] (0 disables correction)")
+
 		controller  = flag.String("controller", "utility", "controller: utility (the paper's), fcfs, edf, fairshare, static60")
 		incremental = flag.Bool("incremental", true, "reuse plans across cycles when provably unchanged")
 		churnAware  = flag.Bool("churn-aware", true, "keep running jobs in place when possible")
@@ -112,6 +125,17 @@ func main() {
 	newCtrl, err := newController(*controller, cfg)
 	if err != nil {
 		log.Fatalf("slaplace-serve: %v", err)
+	}
+	var fcCfg *forecast.Config
+	if *fcPredictor != "" {
+		fcCfg = &forecast.Config{
+			Predictor:       *fcPredictor,
+			Window:          *fcWindow,
+			CorrectionAlpha: *fcCorrection,
+		}
+		if err := fcCfg.Validate(); err != nil {
+			log.Fatalf("slaplace-serve: %v", err)
+		}
 	}
 	if *stateDir != "" {
 		if err := os.MkdirAll(*stateDir, 0o755); err != nil {
@@ -137,6 +161,7 @@ func main() {
 		ReplicaID:       *replicaID,
 		Peers:           peerList,
 		StaleClaimAfter: *claimTTL,
+		Forecast:        fcCfg,
 		Logf:            log.Printf,
 	})
 	httpSrv := serve.NewHTTPServer(srv.Handler(), *readTimeout, *writeTimeout)

@@ -6,12 +6,15 @@
 //	slaplace-sim [flags]
 //
 //	-scenario name   paper | diffserv | churn-aware | churn-oblivious |
-//	                 failure | spike | multiapp | quick (default "quick")
+//	                 failure | spike | multiapp | ramp | flashcrowd |
+//	                 quick (default "quick")
 //	-config path     load the scenario from a JSON file instead
 //	-job-trace path  replay a CSV job trace (replaces the scenario's
 //	                 synthetic job streams)
 //	-controller name utility | fcfs | edf | fairshare | static
 //	                 (default "utility"; overrides the scenario's choice)
+//	-forecast name   plan against predicted demand: constant | holt | ar
+//	                 (default off: react to the last observation)
 //	-static-frac f   batch node fraction for the static controller
 //	-shards k        plan the cluster as k concurrent shards (default 1;
 //	                 "utility" shards use the default configuration)
@@ -44,6 +47,7 @@ func main() {
 		jobTrace     = flag.String("job-trace", "", "replay a CSV job trace")
 		ctrlName     = flag.String("controller", "utility", "placement controller")
 		staticFrac   = flag.Float64("static-frac", 0.6, "batch fraction for -controller static")
+		forecastName = flag.String("forecast", "", "demand predictor: constant, holt, or ar (empty = reactive)")
 		shards       = flag.Int("shards", 1, "plan the cluster as this many concurrent shards (1 = unsharded)")
 		seed         = flag.Uint64("seed", 42, "RNG seed")
 		replicas     = flag.Int("replicas", 1, "replica count (seeds seed..seed+r-1)")
@@ -113,6 +117,14 @@ func main() {
 	if *horizon > 0 {
 		sc.Horizon = *horizon
 	}
+	fcCfg, err := buildForecast(*forecastName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "slaplace-sim:", err)
+		os.Exit(2)
+	}
+	if fcCfg != nil {
+		sc.Forecast = fcCfg
+	}
 
 	if *replicas < 1 {
 		fmt.Fprintln(os.Stderr, "slaplace-sim: -replicas must be >= 1")
@@ -145,6 +157,10 @@ func main() {
 		}
 		if *horizon > 0 {
 			replica.Horizon = *horizon
+		}
+		if fcCfg != nil {
+			fc := *fcCfg
+			replica.Forecast = &fc
 		}
 		scs = append(scs, replica)
 	}
@@ -228,6 +244,10 @@ func buildScenario(name string, seed uint64) (slaplace.Scenario, error) {
 		return slaplace.SpikeScenario(seed), nil
 	case "multiapp":
 		return slaplace.MultiAppScenario(seed), nil
+	case "ramp":
+		return slaplace.RampScenario(seed), nil
+	case "flashcrowd":
+		return slaplace.FlashCrowdScenario(seed), nil
 	case "quick":
 		return slaplace.QuickScenario(seed), nil
 	default:
@@ -255,6 +275,21 @@ func shardFactory(scenario, name string, staticFrac float64) func() slaplace.Con
 		}
 		return ctrl
 	}
+}
+
+// buildForecast maps the -forecast flag to a predictor configuration;
+// empty means reactive planning (nil). The scenario config file's
+// controller.forecast block carries the finer knobs.
+func buildForecast(name string) (*slaplace.ForecastConfig, error) {
+	if name == "" {
+		return nil, nil
+	}
+	cfg := slaplace.DefaultForecastConfig()
+	cfg.Predictor = name
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &cfg, nil
 }
 
 // buildController maps a name to a controller; "utility" returns nil to

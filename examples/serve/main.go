@@ -9,7 +9,9 @@
 //
 // The walkthrough starts the HTTP daemon in process (the same handler
 // cmd/slaplace-serve listens with) and also shows the equivalent
-// in-process Session calls, which return byte-identical plans. It
+// in-process Session calls, which return byte-identical plans. A
+// per-request forecast hint then upgrades a session to predictive
+// planning (what `slaplace-serve -forecast holt` defaults to). It
 // closes with the replicated control plane: a 3-replica fleet sharing
 // one state dir behind a coordinator (what slaplace-proxy runs), a
 // kill -9 of the cluster's home replica mid-traffic, and a graceful
@@ -19,6 +21,7 @@ package main
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"fmt"
 	"log"
 	"net"
@@ -244,6 +247,40 @@ func main() {
 	}
 	fmt.Printf("in-process: %d cycles, last mode %v\n", 2, stats.LastMode)
 	printActions("in-process Plan.Diff", plan2.Diff(plan1))
+
+	// --- Predictive planning ----------------------------------------
+	// A per-request forecast hint upgrades a new session from reactive
+	// to predictive: the daemon substitutes each app's *predicted*
+	// demand (here Holt's double exponential smoothing with correction
+	// feedback) for its last observation before pricing shares, so
+	// allocations lead a climbing workload instead of trailing it.
+	// `slaplace-serve -forecast holt` makes this the default for every
+	// new session; either way the predictor's state rides the
+	// checkpoint through crashes and failover like everything else.
+	fcResp, err := post(ts.URL, &api.PlanRequest{
+		ClusterID: "prod-us",
+		Snapshot:  snapshot(600, 20),
+		Forecast:  &api.ForecastConfig{Predictor: "holt"},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\npredictive session: cycle %d planned in mode %q\n", fcResp.Cycle, fcResp.PlanMode)
+	statsHTTP, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		log.Fatal(err)
+	}
+	var stResp api.StatsResponse
+	if err := json.NewDecoder(statsHTTP.Body).Decode(&stResp); err != nil {
+		log.Fatal(err)
+	}
+	statsHTTP.Body.Close()
+	for _, ss := range stResp.Sessions {
+		if ss.ForecastPredictor != "" {
+			fmt.Printf("stats: cluster %q plans with the %q predictor\n\n",
+				ss.ClusterID, ss.ForecastPredictor)
+		}
+	}
 
 	// --- Replicated serving & failover ------------------------------
 	// Three daemons sharing one -state-dir form a fleet; each knows its

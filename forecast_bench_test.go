@@ -1,0 +1,72 @@
+// Forecasting benchmarks: the per-cycle cost predictive planning adds
+// to a session's plan cycle at the canonical 500-node / 5000-job
+// steady shape. The reactive sub-benchmark is the baseline; the
+// per-predictor ones run the identical drifting-demand cycle with
+// forecasting enabled, so the gap is exactly the forecast pass
+// (correction feedback, history push, predict, demand substitution).
+// The benchmark gate holds the reactive/holt ratio to pin that the
+// pass stays negligible next to planning itself; the per-app scaling
+// of the predictors is covered by internal/forecast's own benchmark.
+package slaplace_test
+
+import (
+	"fmt"
+	"testing"
+
+	"slaplace/api"
+	"slaplace/internal/control"
+	"slaplace/internal/core"
+	"slaplace/internal/forecast"
+	"slaplace/internal/queueing"
+)
+
+func BenchmarkForecast(b *testing.B) {
+	const nodes, jobs = 500, 5000
+	model, err := queueing.NewMG1PS(1350, 4500)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, pred := range []string{
+		"reactive",
+		forecast.PredictorConstant,
+		forecast.PredictorHolt,
+		forecast.PredictorAR,
+	} {
+		b.Run(fmt.Sprintf("%s/nodes=%d/jobs=%d", pred, nodes, jobs), func(b *testing.B) {
+			sess, err := control.NewSession(core.New(core.DefaultConfig()))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if pred != "reactive" {
+				cfg := forecast.DefaultConfig()
+				cfg.Predictor = pred
+				if err := sess.EnableForecast(cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+			snap, err := api.FromCoreState(steadySyntheticState(nodes, jobs, model))
+			if err != nil {
+				b.Fatal(err)
+			}
+			// Warm the session onto the carry-over tier and prime the
+			// predictor windows before measuring.
+			for c := 0; c < 8; c++ {
+				snap.Now += 600
+				snap.Apps[0].Lambda = 65 + 0.1*float64(c+1)
+				if _, _, err := sess.Propose(snap); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				// Fresh demand every cycle keeps these genuine re-plans,
+				// never exact-snapshot replays.
+				snap.Now += 600
+				snap.Apps[0].Lambda = 65 + 0.1*float64(i%50+1)
+				if _, _, err := sess.Propose(snap); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,289 @@
+package control
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"slaplace/api"
+	"slaplace/internal/core"
+	"slaplace/internal/forecast"
+)
+
+// TestSessionForecastConstantNoCorrectionIsReactive: the constant
+// predictor with correction disabled predicts exactly the observed
+// demand, so the predictive session must plan byte-identically to a
+// reactive one — the degenerate case that pins the substitution
+// plumbing as lossless.
+func TestSessionForecastConstantNoCorrectionIsReactive(t *testing.T) {
+	st := steadyState(t, 4, 20)
+	reactive, err := NewSession(core.New(core.DefaultConfig()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	predictive, err := NewSession(core.New(core.DefaultConfig()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := predictive.EnableForecast(forecast.Config{
+		Predictor: forecast.PredictorConstant, CorrectionAlpha: 0,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for cycle := 0; cycle < 4; cycle++ {
+		st.Apps[0].Lambda = 65 + 3*float64(cycle)
+		st.Now += 600
+		want, _, err := reactive.Propose(wireSnapshot(t, st))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _, err := predictive.Propose(wireSnapshot(t, st))
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, _ := json.Marshal(got)
+		b, _ := json.Marshal(want)
+		if !bytes.Equal(a, b) {
+			t.Fatalf("cycle %d: constant/no-correction forecast diverged from reactive", cycle)
+		}
+	}
+}
+
+// TestSessionForecastReplayTier: re-proposing an identical snapshot
+// must still hit the controller's replay tier — the forecaster caches
+// its per-cycle predictions instead of re-observing.
+func TestSessionForecastReplayTier(t *testing.T) {
+	st := steadyState(t, 4, 20)
+	sess, err := NewSession(core.New(core.DefaultConfig()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.EnableForecast(forecast.DefaultConfig()); err != nil {
+		t.Fatal(err)
+	}
+	for cycle := 0; cycle < 3; cycle++ {
+		st.Apps[0].Lambda = 65 + 2*float64(cycle)
+		st.Now += 600
+		if _, _, err := sess.Propose(wireSnapshot(t, st)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, stats, err := sess.Propose(wireSnapshot(t, st))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.LastMode != core.PlanReplayed {
+		t.Errorf("identical snapshot with forecasting planned in mode %v, want replayed", stats.LastMode)
+	}
+}
+
+// TestSessionForecastAnticipatesRamp: on a steadily ramping demand the
+// Holt session must eventually allocate the web app more CPU than the
+// reactive session does — the look-ahead the tentpole exists for.
+func TestSessionForecastAnticipatesRamp(t *testing.T) {
+	st := steadyState(t, 4, 0) // no batch backlog: allocation tracks demand
+	reactive, err := NewSession(core.New(core.DefaultConfig()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	predictive, err := NewSession(core.New(core.DefaultConfig()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := predictive.EnableForecast(forecast.Config{
+		Predictor: forecast.PredictorHolt, CorrectionAlpha: 0,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	anticipated := false
+	for cycle := 0; cycle < 8; cycle++ {
+		st.Apps[0].Lambda = 40 + 5*float64(cycle)
+		st.Now += 600
+		want, _, err := reactive.Propose(wireSnapshot(t, st))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _, err := predictive.Propose(wireSnapshot(t, st))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if float64(got.Diagnostics.AppDemandMHz["web"]) > float64(want.Diagnostics.AppDemandMHz["web"]) {
+			anticipated = true
+		}
+	}
+	if !anticipated {
+		t.Error("holt session never sized the web app above the reactive session on a ramp")
+	}
+}
+
+// TestSessionEnableForecastErrors: double enable, enable after
+// planning, and invalid configs are all rejected.
+func TestSessionEnableForecastErrors(t *testing.T) {
+	st := steadyState(t, 4, 8)
+	sess, err := NewSession(core.New(core.DefaultConfig()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, on := sess.ForecastConfig(); on {
+		t.Error("fresh session reports forecasting enabled")
+	}
+	if err := sess.EnableForecast(forecast.Config{Predictor: "arima"}); err == nil {
+		t.Error("invalid predictor accepted")
+	}
+	if err := sess.EnableForecast(forecast.DefaultConfig()); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.EnableForecast(forecast.DefaultConfig()); err == nil {
+		t.Error("double enable accepted")
+	}
+	if cfg, on := sess.ForecastConfig(); !on || cfg.Predictor != forecast.PredictorHolt {
+		t.Errorf("ForecastConfig = %+v, %v", cfg, on)
+	}
+
+	late, err := NewSession(core.New(core.DefaultConfig()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := late.Propose(wireSnapshot(t, st)); err != nil {
+		t.Fatal(err)
+	}
+	if err := late.EnableForecast(forecast.DefaultConfig()); err == nil {
+		t.Error("enable after planning accepted")
+	}
+}
+
+// TestSessionForecastExportRestore is the checkpoint contract with
+// forecasting on: export through both wire codecs, restore, and the
+// restored session's predictive plan sequence must stay byte-identical
+// to a session that never restarted — the forecaster's history and
+// correction factors included.
+func TestSessionForecastExportRestore(t *testing.T) {
+	cfg := forecast.Config{Predictor: forecast.PredictorHolt, CorrectionAlpha: 0.25}
+	st := steadyState(t, 4, 20)
+	ref, err := NewSession(core.New(core.DefaultConfig()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim, err := NewSession(core.New(core.DefaultConfig()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []*Session{ref, victim} {
+		if err := s.EnableForecast(cfg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Enough ramping cycles to prime histories and correction factors.
+	for cycle := 0; cycle < 6; cycle++ {
+		st.Apps[0].Lambda = 50 + 4*float64(cycle)
+		st.Now += 600
+		for _, s := range []*Session{ref, victim} {
+			if _, _, err := s.Propose(wireSnapshot(t, st)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	ck, err := victim.Export()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ck.Forecast == nil {
+		t.Fatal("forecast-enabled session exported no forecast state")
+	}
+	// Round-trip the checkpoint through both codecs; they must agree.
+	var js, bin bytes.Buffer
+	if err := api.EncodeCheckpoint(&js, ck); err != nil {
+		t.Fatal(err)
+	}
+	fromJSON, err := api.DecodeCheckpoint(bytes.NewReader(js.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := api.EncodeCheckpointBinary(&bin, ck); err != nil {
+		t.Fatal(err)
+	}
+	fromBin, err := api.DecodeCheckpointBinary(bytes.NewReader(bin.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := json.Marshal(fromJSON.Forecast)
+	b, _ := json.Marshal(fromBin.Forecast)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("codecs disagree on forecast state:\n%s\n%s", a, b)
+	}
+
+	restored, err := RestoreSession(core.New(core.DefaultConfig()), fromBin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg2, on := restored.ForecastConfig(); !on || cfg2.Predictor != cfg.Predictor {
+		t.Errorf("restored forecast config = %+v, %v", cfg2, on)
+	}
+
+	// Continue both sessions through more ramp; the restored one must
+	// track the uninterrupted reference plan for plan.
+	for cycle := 6; cycle < 12; cycle++ {
+		st.Apps[0].Lambda = 50 + 4*float64(cycle)
+		st.Now += 600
+		want, _, err := ref.Propose(wireSnapshot(t, st))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _, err := restored.Propose(wireSnapshot(t, st))
+		if err != nil {
+			t.Fatal(err)
+		}
+		wa, _ := json.Marshal(want)
+		ga, _ := json.Marshal(got)
+		if !bytes.Equal(wa, ga) {
+			t.Fatalf("cycle %d after restore: predictive plans diverge", cycle)
+		}
+	}
+	// And their next checkpoints carry identical forecast state.
+	ckRef, err := ref.Export()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ckRes, err := restored.Export()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ra, _ := json.Marshal(ckRef.Forecast)
+	rb, _ := json.Marshal(ckRes.Forecast)
+	if !bytes.Equal(ra, rb) {
+		t.Fatalf("forecast state diverged after restore:\n%s\n%s", ra, rb)
+	}
+}
+
+// TestSessionForecastRestoreRejectsCorruptState: a checkpoint whose
+// forecast state fails validation is refused before any planning.
+func TestSessionForecastRestoreRejectsCorruptState(t *testing.T) {
+	st := steadyState(t, 4, 8)
+	sess, err := NewSession(core.New(core.DefaultConfig()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.EnableForecast(forecast.DefaultConfig()); err != nil {
+		t.Fatal(err)
+	}
+	// Two cycles: the exported stash is the pre-cycle-2 state, which
+	// holds cycle 1's observation for the web app.
+	for cycle := 0; cycle < 2; cycle++ {
+		st.Now += 600
+		if _, _, err := sess.Propose(wireSnapshot(t, st)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ck, err := sess.Export()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ck.Forecast.Apps) == 0 {
+		t.Fatal("exported forecast state has no apps after two cycles")
+	}
+	ck.Forecast.Apps[0].History = []float64{-1}
+	if _, err := RestoreSession(core.New(core.DefaultConfig()), ck); err == nil {
+		t.Error("corrupt forecast state accepted")
+	}
+}

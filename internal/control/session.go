@@ -7,6 +7,7 @@ import (
 
 	"slaplace/api"
 	"slaplace/internal/core"
+	"slaplace/internal/forecast"
 	"slaplace/internal/metrics"
 )
 
@@ -41,6 +42,12 @@ type Session struct {
 	wire    *WireBackend
 	hasNow  bool
 	lastNow float64
+
+	// fc, when set, substitutes predicted per-app demand into each
+	// snapshot before the controller plans it (EnableForecast). The
+	// retained wire state and checkpoints keep *observed* demand; only
+	// the state handed to the controller is forecast-adjusted.
+	fc *forecast.Forecaster
 }
 
 // Wire-path errors the serving layer distinguishes.
@@ -65,6 +72,68 @@ func NewSession(ctrl core.Controller) (*Session, error) {
 
 // Name returns the controller's name.
 func (s *Session) Name() string { return s.ctrl.Name() }
+
+// seriesLambdaPredSuffix names the per-app recorder series of
+// forecast-adjusted demand ("trans/<id>/lambdaPred"): what the
+// controller actually planned for when forecasting is enabled
+// ("trans/<id>/lambda" keeps the observed rate).
+const seriesLambdaPredSuffix = "/lambdaPred"
+
+// EnableForecast turns on predictive planning: every subsequent cycle
+// plans against forecast demand instead of the snapshot's observed
+// demand. It must be called before the session plans its first cycle —
+// switching an already-planning session would make its plan sequence
+// diverge from both the reactive and the predictive reference.
+func (s *Session) EnableForecast(cfg forecast.Config) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.fc != nil {
+		return fmt.Errorf("control: forecasting already enabled")
+	}
+	if s.cycles > 0 {
+		return fmt.Errorf("control: cannot enable forecasting after %d planned cycles", s.cycles)
+	}
+	fc, err := forecast.New(cfg)
+	if err != nil {
+		return err
+	}
+	s.fc = fc
+	return nil
+}
+
+// ForecastConfig returns the forecasting configuration and whether
+// forecasting is enabled.
+func (s *Session) ForecastConfig() (forecast.Config, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.fc == nil {
+		return forecast.Config{}, false
+	}
+	return s.fc.Config(), true
+}
+
+// applyForecast substitutes predicted demand into a snapshot about to
+// be planned. With forecasting disabled it returns the state untouched
+// — the reactive path stays bit-for-bit identical. Otherwise it
+// returns a copy whose apps carry predicted Lambda; the original state
+// (retained by the wire backend, exported into checkpoints) keeps the
+// observed rates, so a restore can re-run this exact substitution.
+func (s *Session) applyForecast(st *core.State, rec *metrics.Recorder) *core.State {
+	if s.fc == nil || len(st.Apps) == 0 {
+		return st
+	}
+	out := &core.State{Now: st.Now, Nodes: st.Nodes, Jobs: st.Jobs}
+	out.Apps = append([]core.AppInfo(nil), st.Apps...)
+	for i := range out.Apps {
+		a := &out.Apps[i]
+		pred := s.fc.Forecast(string(a.ID), st.Now, a.Lambda)
+		if rec != nil {
+			rec.Series("trans/"+string(a.ID)+seriesLambdaPredSuffix).Add(st.Now, pred)
+		}
+		a.Lambda = pred
+	}
+	return out
+}
 
 // Controller returns the owned controller.
 func (s *Session) Controller() core.Controller { return s.ctrl }
@@ -151,7 +220,7 @@ func (s *Session) cycle(b ClusterBackend, rec *metrics.Recorder, t0, now float64
 	if rec != nil {
 		b.Observe(rec, st, now)
 	}
-	plan, stats := s.plan(st)
+	plan, stats := s.plan(s.applyForecast(st, rec))
 	if rec != nil {
 		s.recordCycle(rec, st, plan, stats, now)
 	}
@@ -189,6 +258,13 @@ func (s *Session) Export() (*api.Checkpoint, error) {
 	} else if s.cycles > 0 {
 		return nil, fmt.Errorf("control: session has no wire state to checkpoint (driven through Cycle?)")
 	}
+	if s.fc != nil {
+		// The forecaster exports its pre-cycle stash: the snapshot above
+		// holds observed demand, so the restore re-plan re-runs this
+		// cycle's forecasts from that stash and converges to the live
+		// post-cycle forecaster state.
+		ck.Forecast = api.ForecastStateFromState(s.fc.Export())
+	}
 	return ck, nil
 }
 
@@ -218,6 +294,13 @@ func RestoreSession(ctrl core.Controller, ck *api.Checkpoint) (*Session, error) 
 		return nil, fmt.Errorf("control: checkpoint is from controller %q, restoring onto %q",
 			ck.Controller, ctrl.Name())
 	}
+	if ck.Forecast != nil {
+		fc, err := forecast.Restore(ck.Forecast.State())
+		if err != nil {
+			return nil, fmt.Errorf("control: checkpoint forecast: %w", err)
+		}
+		s.fc = fc
+	}
 	if ck.Snapshot != nil {
 		st, err := ck.Snapshot.CoreState()
 		if err != nil {
@@ -225,7 +308,11 @@ func RestoreSession(ctrl core.Controller, ck *api.Checkpoint) (*Session, error) 
 		}
 		s.wire = &WireBackend{}
 		s.wire.Push(st)
-		plan, _ := s.plan(st)
+		// The snapshot carries observed demand; re-applying the forecast
+		// stage reproduces the exact predicted state the checkpointed
+		// plan was computed from (and advances the restored forecaster to
+		// its live post-cycle state).
+		plan, _ := s.plan(s.applyForecast(st, nil))
 		s.wire.Enact(plan)
 		want, err := ck.Plan.CorePlan()
 		if err != nil {

@@ -9,6 +9,7 @@ import (
 	"slaplace/internal/cluster"
 	"slaplace/internal/control"
 	"slaplace/internal/core"
+	"slaplace/internal/forecast"
 	"slaplace/internal/queueing"
 	"slaplace/internal/res"
 	"slaplace/internal/shard"
@@ -75,6 +76,43 @@ type ControllerJSON struct {
 	MigrationGain         float64 `json:"migrationGain"`
 	MaxMigrationsPerCycle *int    `json:"maxMigrationsPerCycle"`
 	ChurnOblivious        bool    `json:"churnOblivious"`
+	// Forecast enables predictive planning for any controller kind:
+	// the control session forecasts each application's next-cycle
+	// demand and plans against the prediction.
+	Forecast *ForecastJSON `json:"forecast"`
+}
+
+// ForecastJSON mirrors forecast.Config. CorrectionAlpha keeps the wire
+// tristate: omitted means the default weight, an explicit 0 disables
+// correction feedback.
+type ForecastJSON struct {
+	// Predictor is "constant", "holt" or "ar" ("" = holt).
+	Predictor       string   `json:"predictor"`
+	Window          int      `json:"window"`
+	HoltAlpha       float64  `json:"holtAlpha"`
+	HoltBeta        float64  `json:"holtBeta"`
+	AROrder         int      `json:"arOrder"`
+	CorrectionAlpha *float64 `json:"correctionAlpha"`
+}
+
+// Build converts and validates the forecast block.
+func (fj ForecastJSON) Build() (forecast.Config, error) {
+	cfg := forecast.Config{
+		Predictor: fj.Predictor,
+		Window:    fj.Window,
+		HoltAlpha: fj.HoltAlpha,
+		HoltBeta:  fj.HoltBeta,
+		AROrder:   fj.AROrder,
+	}
+	if fj.CorrectionAlpha != nil {
+		cfg.CorrectionAlpha = *fj.CorrectionAlpha
+	} else {
+		cfg.CorrectionAlpha = forecast.DefaultConfig().CorrectionAlpha
+	}
+	if err := cfg.Validate(); err != nil {
+		return forecast.Config{}, fmt.Errorf("experiments: forecast: %w", err)
+	}
+	return cfg, nil
 }
 
 // JobStreamJSON mirrors JobStream.
@@ -187,6 +225,13 @@ func (sj ScenarioJSON) Build() (Scenario, error) {
 		return Scenario{}, err
 	}
 	sc.Controller = ctrl
+	if sj.Controller.Forecast != nil {
+		fc, err := sj.Controller.Forecast.Build()
+		if err != nil {
+			return Scenario{}, err
+		}
+		sc.Forecast = &fc
+	}
 
 	for i, js := range sj.Jobs {
 		fn, err := js.Fn.Build()
@@ -262,10 +307,27 @@ func (cj ControllerJSON) Build() (core.Controller, error) {
 	return cj.build()
 }
 
+// rejectUtilityKnobs reports an error when any utility-controller
+// tuning key is set on a controller kind that ignores it. Unknown keys
+// are caught by the JSON decoder; these are *known* keys that would
+// otherwise be silently dropped — a typo'd experiment config must not
+// quietly run a differently-tuned controller.
+func (cj ControllerJSON) rejectUtilityKnobs() error {
+	if cj.ShareTolerance != 0 || cj.MigrationThreshold != 0 || cj.MigrationGain != 0 ||
+		cj.MaxMigrationsPerCycle != nil || cj.ChurnOblivious {
+		return fmt.Errorf("experiments: controller kind %q takes no utility-controller knobs "+
+			"(shareTolerance, migrationThreshold, migrationGain, maxMigrationsPerCycle, churnOblivious)", cj.Kind)
+	}
+	return nil
+}
+
 // build constructs the selected controller kind, unsharded.
 func (cj ControllerJSON) build() (core.Controller, error) {
 	switch cj.Kind {
 	case "", "utility":
+		if cj.BatchFraction != 0 {
+			return nil, fmt.Errorf("experiments: utility controller takes no batchFraction (did you mean kind %q?)", "static")
+		}
 		cfg := core.DefaultConfig()
 		if cj.ShareTolerance != 0 {
 			cfg.ShareTolerance = cj.ShareTolerance
@@ -286,13 +348,24 @@ func (cj ControllerJSON) build() (core.Controller, error) {
 			return nil, err
 		}
 		return core.New(cfg), nil
-	case "fcfs":
-		return baseline.FCFS{}, nil
-	case "edf":
-		return baseline.EDF{}, nil
-	case "fairshare":
+	case "fcfs", "edf", "fairshare":
+		if err := cj.rejectUtilityKnobs(); err != nil {
+			return nil, err
+		}
+		if cj.BatchFraction != 0 {
+			return nil, fmt.Errorf("experiments: controller kind %q takes no batchFraction", cj.Kind)
+		}
+		switch cj.Kind {
+		case "fcfs":
+			return baseline.FCFS{}, nil
+		case "edf":
+			return baseline.EDF{}, nil
+		}
 		return baseline.FairShare{}, nil
 	case "static":
+		if err := cj.rejectUtilityKnobs(); err != nil {
+			return nil, err
+		}
 		if cj.BatchFraction <= 0 || cj.BatchFraction >= 1 {
 			return nil, fmt.Errorf("experiments: static controller needs batchFraction in (0,1), got %v", cj.BatchFraction)
 		}

@@ -132,6 +132,84 @@ func TestControllerJSONUtilityKnobs(t *testing.T) {
 	}
 }
 
+// TestLoadScenarioForecastBlock: a controller.forecast block turns on
+// predictive planning; a typo'd block name or a bad predictor is an
+// error, never a silent fall-back to reactive planning.
+func TestLoadScenarioForecastBlock(t *testing.T) {
+	withForecast := strings.Replace(validJSON,
+		`"controller": {"kind": "utility"}`,
+		`"controller": {"kind": "utility", "forecast": {"predictor": "holt", "window": 8}}`, 1)
+	sc, err := LoadScenario(strings.NewReader(withForecast))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Forecast == nil || sc.Forecast.Predictor != "holt" || sc.Forecast.Window != 8 {
+		t.Fatalf("forecast block not applied: %+v", sc.Forecast)
+	}
+	if sc.Forecast.CorrectionAlpha == 0 {
+		t.Error("omitted correctionAlpha built as 0 (disabled), want the default weight")
+	}
+
+	// Explicit 0 disables correction.
+	zeroAlpha := strings.Replace(validJSON,
+		`"controller": {"kind": "utility"}`,
+		`"controller": {"kind": "utility", "forecast": {"predictor": "holt", "correctionAlpha": 0}}`, 1)
+	sc, err = LoadScenario(strings.NewReader(zeroAlpha))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Forecast.CorrectionAlpha != 0 {
+		t.Errorf("explicit correctionAlpha 0 built as %v", sc.Forecast.CorrectionAlpha)
+	}
+
+	// A typo'd block name must be a hard error (unknown field), not a
+	// silently reactive run.
+	typo := strings.Replace(validJSON,
+		`"controller": {"kind": "utility"}`,
+		`"controller": {"kind": "utility", "forecst": {"predictor": "holt"}}`, 1)
+	if _, err := LoadScenario(strings.NewReader(typo)); err == nil {
+		t.Error(`typo'd "forecst" block accepted silently`)
+	}
+
+	// A bad predictor inside a well-named block is also a hard error.
+	bad := strings.Replace(validJSON,
+		`"controller": {"kind": "utility"}`,
+		`"controller": {"kind": "utility", "forecast": {"predictor": "arima"}}`, 1)
+	if _, err := LoadScenario(strings.NewReader(bad)); err == nil {
+		t.Error("unknown predictor accepted")
+	}
+}
+
+// TestControllerJSONRejectsMisappliedKeys: known keys that the selected
+// controller kind ignores are configuration errors (satellite of the
+// silent-misconfiguration guarantee — see TestLoadScenarioForecastBlock
+// for the unknown-key side).
+func TestControllerJSONRejectsMisappliedKeys(t *testing.T) {
+	zero := 0
+	cases := []struct {
+		name string
+		in   ControllerJSON
+	}{
+		{"utility+batchFraction", ControllerJSON{Kind: "utility", BatchFraction: 0.5}},
+		{"fcfs+batchFraction", ControllerJSON{Kind: "fcfs", BatchFraction: 0.5}},
+		{"edf+shareTolerance", ControllerJSON{Kind: "edf", ShareTolerance: 0.1}},
+		{"fairshare+churnOblivious", ControllerJSON{Kind: "fairshare", ChurnOblivious: true}},
+		{"fcfs+maxMigrations", ControllerJSON{Kind: "fcfs", MaxMigrationsPerCycle: &zero}},
+		{"static+migrationGain", ControllerJSON{Kind: "static", BatchFraction: 0.5, MigrationGain: 2}},
+	}
+	for _, c := range cases {
+		if _, err := c.in.Build(); err == nil {
+			t.Errorf("%s: misapplied key accepted", c.name)
+		}
+	}
+	// The forecast key applies to every kind (it configures the control
+	// session, not the controller).
+	ok := ControllerJSON{Kind: "fcfs", Forecast: &ForecastJSON{Predictor: "constant"}}
+	if _, err := ok.Build(); err != nil {
+		t.Errorf("forecast on a baseline kind rejected: %v", err)
+	}
+}
+
 func TestFnJSON(t *testing.T) {
 	if fn, err := (FnJSON{}).Build(); err != nil || fn != nil {
 		t.Errorf("empty fn = (%v, %v), want nil default", fn, err)

@@ -13,6 +13,7 @@ import (
 	"slaplace/internal/cluster"
 	"slaplace/internal/control"
 	"slaplace/internal/core"
+	"slaplace/internal/forecast"
 	"slaplace/internal/metrics"
 	"slaplace/internal/res"
 	"slaplace/internal/rng"
@@ -70,6 +71,10 @@ type Scenario struct {
 
 	Controller core.Controller
 	Loop       control.Options
+	// Forecast, when set, enables predictive planning: the session
+	// forecasts each application's next-cycle demand and places against
+	// the prediction instead of the last observation.
+	Forecast *forecast.Config
 
 	Jobs   []JobStream
 	Apps   []trans.Config
@@ -104,6 +109,11 @@ func (s Scenario) Validate() error {
 	}
 	if s.Controller == nil {
 		return fmt.Errorf("experiments: no controller")
+	}
+	if s.Forecast != nil {
+		if err := s.Forecast.Validate(); err != nil {
+			return fmt.Errorf("experiments: forecast: %w", err)
+		}
 	}
 	if err := s.Loop.Validate(); err != nil {
 		return err
@@ -206,6 +216,11 @@ func Run(sc Scenario) (*Result, error) {
 	sess, errSess := control.NewSession(sc.Controller)
 	if errSess != nil {
 		return nil, errSess
+	}
+	if sc.Forecast != nil {
+		if err := sess.EnableForecast(*sc.Forecast); err != nil {
+			return nil, err
+		}
 	}
 	loop, errLoop := control.NewLoop(eng, cl, mgr, jobs, web, sess, rec, sc.Loop)
 	if errLoop != nil {

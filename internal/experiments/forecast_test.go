@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+
+	"slaplace/internal/forecast"
+)
+
+// TestForecastConstantNoCorrectionMatchesReactive: the degenerate
+// forecast (constant predictor, correction off) predicts exactly the
+// observed rate, so a full scenario run must be indistinguishable from
+// a reactive run — every recorded series byte-identical.
+func TestForecastConstantNoCorrectionMatchesReactive(t *testing.T) {
+	reactive, err := Run(QuickScenario(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := QuickScenario(42)
+	sc.Forecast = &forecast.Config{Predictor: forecast.PredictorConstant, CorrectionAlpha: 0}
+	predictive, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want, got bytes.Buffer
+	if err := reactive.Recorder.WriteLongCSV(&want); err != nil {
+		t.Fatal(err)
+	}
+	if err := predictive.Recorder.WriteLongCSV(&got); err != nil {
+		t.Fatal(err)
+	}
+	// The predictive run records the extra lambdaPred series; drop those
+	// lines before comparing.
+	if !bytes.Equal(want.Bytes(), stripLambdaPred(got.Bytes())) {
+		t.Error("constant/no-correction forecast run diverged from the reactive run")
+	}
+}
+
+// stripLambdaPred removes the forecast-only lambdaPred series lines
+// from a long-format CSV dump.
+func stripLambdaPred(csv []byte) []byte {
+	var out bytes.Buffer
+	for _, line := range bytes.SplitAfter(csv, []byte("\n")) {
+		if bytes.Contains(line, []byte("/lambdaPred")) {
+			continue
+		}
+		out.Write(line)
+	}
+	return out.Bytes()
+}
+
+// TestForecastReducesSLAViolations is the tentpole's payoff, pinned at
+// a fixed seed: on both demand-tracking scenarios the Holt predictor
+// must strictly reduce SLA violations against the reactive run of the
+// byte-identical workload.
+func TestForecastReducesSLAViolations(t *testing.T) {
+	const seed = 7
+	for _, tc := range []struct {
+		name  string
+		build func(uint64) Scenario
+	}{
+		{"ramp", RampScenario},
+		{"flashcrowd", FlashCrowdScenario},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			rres, err := Run(tc.build(seed))
+			if err != nil {
+				t.Fatal(err)
+			}
+			sc := tc.build(seed)
+			sc.Forecast = &forecast.Config{
+				Predictor: forecast.PredictorHolt, CorrectionAlpha: 0.25,
+			}
+			pres, err := Run(sc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rv, pv := SLAViolations(rres), SLAViolations(pres)
+			t.Logf("violations: reactive %d, predictive %d (of %d cycles)", rv, pv, rres.Cycles)
+			if rv == 0 {
+				t.Fatal("reactive run had no SLA violations — the scenario is not stressing demand tracking")
+			}
+			if pv >= rv {
+				t.Errorf("holt forecasting did not reduce SLA violations: reactive %d, predictive %d", rv, pv)
+			}
+		})
+	}
+}

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"strings"
 
 	"slaplace/internal/control"
 	"slaplace/internal/core"
@@ -296,6 +297,105 @@ func MultiAppScenario(seed uint64) Scenario {
 		IDPrefix:     "job",
 	}}
 	return sc
+}
+
+// RampScenario stresses *demand tracking*: after a long flat stretch
+// the web arrival rate climbs steeply — roughly quadrupling over five
+// control cycles — then holds near the cluster's comfortable ceiling.
+// The sluggish EWMA estimate runs a couple of cycles behind during the
+// climb, so a reactive controller under-allocates exactly while load
+// is arriving and violates the response-time SLA (measured utility
+// below zero) until the estimate catches up. Set Scenario.Forecast to
+// plan against the predicted next-cycle rate instead; see
+// SLAViolations for scoring.
+func RampScenario(seed uint64) Scenario {
+	sc := QuickScenario(seed)
+	sc.Name = "ramp"
+	sc.Horizon = 12600 // 42 cycles of 300 s
+	web := PaperWebConfig()
+	web.MinInstances = 4
+	web.Pattern = rampPattern()
+	// A sluggish monitor (low EWMA weight) is what the forecaster must
+	// see past: during the climb the estimate runs ~2 cycles behind.
+	web.EWMAAlpha = 0.35
+	sc.Apps = []trans.Config{web}
+	// A light job stream keeps some contention without letting the
+	// equalizer (rather than the demand estimate) dictate the web
+	// allocation.
+	sc.Jobs = []JobStream{{
+		Class:        sc.Jobs[0].Class,
+		Phases:       []batch.Phase{{Start: 0, MeanInterarrival: 250}},
+		MaxJobs:      60,
+		InitialBurst: 3,
+		IDPrefix:     "job",
+	}}
+	return sc
+}
+
+// rampPattern holds the arrival rate flat long enough to prime the
+// estimator, climbs linearly to just over four times the base across
+// five cycles, and holds there for the rest of the run.
+func rampPattern() trans.LoadPattern {
+	p, err := trans.NewTrace(
+		[]float64{0, 8400, 9900, 12600},
+		[]float64{10, 10, 42, 42})
+	if err != nil {
+		panic(err) // constants are valid
+	}
+	return p
+}
+
+// FlashCrowdScenario is the abrupt companion to RampScenario: the web
+// arrival rate jumps to roughly triple for two sustained windows. The
+// EWMA estimate needs several cycles to catch each step, so a reactive
+// controller under-allocates exactly while the crowd is arriving; a
+// trend-following predictor closes the gap faster.
+func FlashCrowdScenario(seed uint64) Scenario {
+	sc := QuickScenario(seed)
+	sc.Name = "flashcrowd"
+	sc.Horizon = 12600
+	web := PaperWebConfig()
+	web.MinInstances = 4
+	web.Pattern = flashCrowdPattern()
+	sc.Apps = []trans.Config{web}
+	sc.Jobs = []JobStream{{
+		Class:        sc.Jobs[0].Class,
+		Phases:       []batch.Phase{{Start: 0, MeanInterarrival: 250}},
+		MaxJobs:      60,
+		InitialBurst: 3,
+		IDPrefix:     "job",
+	}}
+	return sc
+}
+
+// flashCrowdPattern: base load with two flash crowds of ~6 cycles each.
+func flashCrowdPattern() trans.LoadPattern {
+	p, err := trans.NewStep(
+		[]float64{0, 4500, 6300, 8700, 10500},
+		[]float64{14, 42, 14, 42, 14})
+	if err != nil {
+		panic(err) // constants are valid
+	}
+	return p
+}
+
+// SLAViolations counts control samples where a transactional
+// application's measured utility was negative — its achieved response
+// time exceeded the SLA goal. This is the scalar the ramp and
+// flash-crowd scenarios compare across reactive and predictive runs.
+func SLAViolations(r *Result) int {
+	n := 0
+	for _, name := range r.Recorder.SeriesNames() {
+		if !strings.HasPrefix(name, "trans/") || !strings.HasSuffix(name, "/utility") {
+			continue
+		}
+		for _, p := range r.Recorder.Series(name).Points() {
+			if p.V < 0 {
+				n++
+			}
+		}
+	}
+	return n
 }
 
 // QuickScenario is a fast smoke configuration used by tests and the

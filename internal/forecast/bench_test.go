@@ -1,0 +1,41 @@
+package forecast
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkForecast measures one full forecasting pass — correction
+// feedback, history push, predict — across a fleet of apps, per
+// predictor. This is the per-cycle cost the control loop pays when
+// forecasting is enabled; benchgate pins it as negligible next to a
+// plan cycle (see BENCH_placement.json).
+func BenchmarkForecast(b *testing.B) {
+	const apps = 200
+	for _, pred := range []string{PredictorConstant, PredictorHolt, PredictorAR} {
+		b.Run(pred, func(b *testing.B) {
+			f, err := New(Config{Predictor: pred, CorrectionAlpha: 0.25})
+			if err != nil {
+				b.Fatal(err)
+			}
+			ids := make([]string, apps)
+			for i := range ids {
+				ids[i] = fmt.Sprintf("app-%03d", i)
+			}
+			// Warm the windows so the benchmark measures steady state.
+			for c := 0; c < 20; c++ {
+				now := float64(600 * c)
+				for i, id := range ids {
+					f.Forecast(id, now, 20+float64((c+i)%7))
+				}
+			}
+			b.ResetTimer()
+			for n := 0; n < b.N; n++ {
+				now := float64(600 * (20 + n))
+				for i, id := range ids {
+					f.Forecast(id, now, 20+float64((n+i)%7))
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,354 @@
+// Package forecast predicts per-application transactional demand one
+// planning horizon ahead, so the placement controller can size the
+// next cycle's allocation for the load it is about to serve instead of
+// the load it just measured. The paper's controller is purely
+// reactive: every plan optimizes against the latest monitoring
+// snapshot, so ramps and flash crowds are answered one cycle late and
+// the SLA-violation metric pays for the lag.
+//
+// The package has three layers:
+//
+//   - Predictor: a pure function from a recent demand series to the
+//     next value. Three implementations ship: Constant (next load
+//     equals current — the no-op baseline), Holt (double-exponential
+//     smoothing, tracks linear trends through ramps) and WindowAR
+//     (sliding-window autoregression, fits short periodic or ramping
+//     structure by least squares).
+//   - Corrector: multiplicative correction-factor feedback. Every
+//     cycle the previous prediction is compared against what was then
+//     observed, and an EWMA of the observed/predicted ratio scales
+//     future forecasts — systematic model bias is learned away
+//     instead of accumulating.
+//   - Forecaster: the per-application bookkeeping that ties both to
+//     the control loop — history rings keyed by app ID, replay-safe
+//     cycle detection, and exportable State so forecasts survive
+//     checkpoint/restore bit for bit.
+//
+// Every predictor obeys one hard contract, pinned by FuzzPredict: for
+// any series of finite inputs the prediction is finite and
+// non-negative. A forecast can be wrong; it can never poison the
+// planner with NaN, ±Inf or negative demand.
+package forecast
+
+import (
+	"fmt"
+	"math"
+)
+
+// Predictor kind names (Config.Predictor, wire and scenario JSON).
+const (
+	// PredictorConstant predicts that the next load equals the current
+	// one — the reactive controller's implicit assumption, made
+	// explicit so correction factors still apply on top.
+	PredictorConstant = "constant"
+	// PredictorHolt is double-exponential (Holt) smoothing: a level
+	// and a trend term, so steady ramps are extrapolated instead of
+	// chased.
+	PredictorHolt = "holt"
+	// PredictorAR is a sliding-window autoregression fit by least
+	// squares each cycle.
+	PredictorAR = "ar"
+)
+
+// Correction-factor bounds: the feedback loop may scale a forecast by
+// at most 2x in either direction, and a single cycle's ratio sample is
+// capped harder so one monitoring glitch cannot slam the factor.
+const (
+	CorrectionMin = 0.5
+	CorrectionMax = 2.0
+	corrRatioCap  = 4.0
+)
+
+// surgeCap bounds one-step extrapolation: no predictor may forecast
+// more than this multiple of the largest value in its window. Trend
+// and AR extrapolation are useful on ramps and unstable on noise; a
+// 4x single-cycle surge prediction is always the latter.
+const surgeCap = 4.0
+
+// maxWindow bounds Config.Window (a forecast window is a few hours of
+// cycles, not an archive).
+const maxWindow = 4096
+
+// Config selects and tunes a predictor. Zero values take the defaults
+// of DefaultConfig, except CorrectionAlpha where zero means correction
+// disabled (DefaultConfig enables it at 0.25).
+type Config struct {
+	// Predictor is one of PredictorConstant, PredictorHolt,
+	// PredictorAR ("" = holt).
+	Predictor string
+	// Window is the per-app history ring capacity (observations
+	// retained and fed to the predictor).
+	Window int
+	// HoltAlpha/HoltBeta are the Holt level and trend smoothing
+	// weights, each in (0, 1].
+	HoltAlpha float64
+	HoltBeta  float64
+	// AROrder is the autoregression order p: the next value is fit as
+	// an affine function of the previous p. Needs 2p+1 observations to
+	// train; WindowAR falls back to the last value until then.
+	AROrder int
+	// CorrectionAlpha is the EWMA weight of the correction-factor
+	// feedback in [0, 1]; 0 disables correction.
+	CorrectionAlpha float64
+}
+
+// DefaultConfig returns the tuning the predictive experiments use:
+// Holt over a 16-cycle window with correction feedback at 0.25.
+func DefaultConfig() Config {
+	return Config{
+		Predictor:       PredictorHolt,
+		Window:          16,
+		HoltAlpha:       0.5,
+		HoltBeta:        0.3,
+		AROrder:         3,
+		CorrectionAlpha: 0.25,
+	}
+}
+
+// withDefaults fills zero fields (CorrectionAlpha excepted — zero is
+// meaningful there).
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	if c.Predictor == "" {
+		c.Predictor = d.Predictor
+	}
+	if c.Window == 0 {
+		c.Window = d.Window
+	}
+	if c.HoltAlpha == 0 {
+		c.HoltAlpha = d.HoltAlpha
+	}
+	if c.HoltBeta == 0 {
+		c.HoltBeta = d.HoltBeta
+	}
+	if c.AROrder == 0 {
+		c.AROrder = d.AROrder
+	}
+	return c
+}
+
+// Validate reports configuration errors. Zero-valued fields are
+// checked as their defaults.
+func (c Config) Validate() error {
+	c = c.withDefaults()
+	switch c.Predictor {
+	case PredictorConstant, PredictorHolt, PredictorAR:
+	default:
+		return fmt.Errorf("forecast: unknown predictor %q (want %s, %s or %s)",
+			c.Predictor, PredictorConstant, PredictorHolt, PredictorAR)
+	}
+	if c.Window < 2 || c.Window > maxWindow {
+		return fmt.Errorf("forecast: window %d outside [2, %d]", c.Window, maxWindow)
+	}
+	if c.HoltAlpha <= 0 || c.HoltAlpha > 1 || math.IsNaN(c.HoltAlpha) {
+		return fmt.Errorf("forecast: holt alpha %v outside (0, 1]", c.HoltAlpha)
+	}
+	if c.HoltBeta <= 0 || c.HoltBeta > 1 || math.IsNaN(c.HoltBeta) {
+		return fmt.Errorf("forecast: holt beta %v outside (0, 1]", c.HoltBeta)
+	}
+	if c.AROrder < 1 || 2*c.AROrder+1 > c.Window {
+		return fmt.Errorf("forecast: AR order %d needs window >= %d, have %d",
+			c.AROrder, 2*c.AROrder+1, c.Window)
+	}
+	if c.CorrectionAlpha < 0 || c.CorrectionAlpha > 1 || math.IsNaN(c.CorrectionAlpha) {
+		return fmt.Errorf("forecast: correction alpha %v outside [0, 1]", c.CorrectionAlpha)
+	}
+	return nil
+}
+
+// Predictor maps a chronological window of observed demand (oldest
+// first, newest last) to the predicted next value. Implementations
+// must return a finite, non-negative value for any finite input
+// series, and 0 for an empty one.
+type Predictor interface {
+	Name() string
+	Predict(series []float64) float64
+}
+
+// NewPredictor builds the configured predictor (zero fields take
+// defaults; the config must validate).
+func NewPredictor(c Config) (Predictor, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	c = c.withDefaults()
+	switch c.Predictor {
+	case PredictorConstant:
+		return Constant{}, nil
+	case PredictorHolt:
+		return Holt{Alpha: c.HoltAlpha, Beta: c.HoltBeta}, nil
+	case PredictorAR:
+		return WindowAR{Order: c.AROrder}, nil
+	}
+	panic("unreachable: Validate pinned the predictor set")
+}
+
+// sanitize enforces the predictor contract on one value: non-finite
+// falls back, and the result is clamped to be finite and >= 0.
+func sanitize(v, fallback float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		v = fallback
+	}
+	if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+		return 0
+	}
+	return v
+}
+
+// lastOf returns the newest series value, sanitized — the universal
+// fallback prediction.
+func lastOf(series []float64) float64 {
+	if len(series) == 0 {
+		return 0
+	}
+	return sanitize(series[len(series)-1], 0)
+}
+
+// clampSurge applies the surgeCap bound against the window maximum.
+func clampSurge(v float64, series []float64) float64 {
+	var max float64
+	for _, s := range series {
+		if s > max {
+			max = s
+		}
+	}
+	if max > 0 && v > surgeCap*max {
+		return surgeCap * max
+	}
+	return v
+}
+
+// Constant predicts that the next load equals the current one.
+type Constant struct{}
+
+// Name implements Predictor.
+func (Constant) Name() string { return PredictorConstant }
+
+// Predict implements Predictor.
+func (Constant) Predict(series []float64) float64 { return lastOf(series) }
+
+// Holt is double-exponential smoothing: a level tracked with weight
+// Alpha and a trend tracked with weight Beta, predicting level+trend.
+type Holt struct {
+	Alpha, Beta float64
+}
+
+// Name implements Predictor.
+func (Holt) Name() string { return PredictorHolt }
+
+// Predict implements Predictor.
+func (h Holt) Predict(series []float64) float64 {
+	last := lastOf(series)
+	if len(series) < 2 {
+		return last
+	}
+	level := series[0]
+	trend := series[1] - series[0]
+	for _, x := range series[1:] {
+		prev := level
+		level = h.Alpha*x + (1-h.Alpha)*(level+trend)
+		trend = h.Beta*(level-prev) + (1-h.Beta)*trend
+	}
+	return clampSurge(sanitize(level+trend, last), series)
+}
+
+// WindowAR fits x[t] = c + a1·x[t-1] + ... + ap·x[t-p] by least
+// squares over the window each cycle and extrapolates one step. Until
+// the window holds 2p+1 observations — or when the fit is degenerate —
+// it falls back to the last observed value.
+type WindowAR struct {
+	Order int
+}
+
+// Name implements Predictor.
+func (WindowAR) Name() string { return PredictorAR }
+
+// Predict implements Predictor.
+func (a WindowAR) Predict(series []float64) float64 {
+	last := lastOf(series)
+	p := a.Order
+	if p < 1 {
+		p = 1
+	}
+	n := len(series)
+	if n < 2*p+1 {
+		return last
+	}
+	// Normal equations for the p+1 unknowns (intercept + p lags).
+	dim := p + 1
+	A := make([][]float64, dim)
+	for i := range A {
+		A[i] = make([]float64, dim)
+	}
+	b := make([]float64, dim)
+	row := make([]float64, dim)
+	for t := p; t < n; t++ {
+		row[0] = 1
+		for i := 1; i <= p; i++ {
+			row[i] = series[t-i]
+		}
+		y := series[t]
+		for i := 0; i < dim; i++ {
+			for j := 0; j < dim; j++ {
+				A[i][j] += row[i] * row[j]
+			}
+			b[i] += row[i] * y
+		}
+	}
+	// Tiny ridge keeps a constant series (rank-deficient design) solvable.
+	for i := 0; i < dim; i++ {
+		A[i][i] += 1e-8 * (math.Abs(A[i][i]) + 1)
+	}
+	w, ok := solve(A, b)
+	if !ok {
+		return last
+	}
+	pred := w[0]
+	for i := 1; i <= p; i++ {
+		pred += w[i] * series[n-i]
+	}
+	return clampSurge(sanitize(pred, last), series)
+}
+
+// solve runs Gaussian elimination with partial pivoting on Ax = b,
+// destroying its inputs. ok is false on a (near-)singular system or
+// a non-finite solution.
+func solve(A [][]float64, b []float64) ([]float64, bool) {
+	n := len(A)
+	for col := 0; col < n; col++ {
+		pivot := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(A[r][col]) > math.Abs(A[pivot][col]) {
+				pivot = r
+			}
+		}
+		A[col], A[pivot] = A[pivot], A[col]
+		b[col], b[pivot] = b[pivot], b[col]
+		pv := A[col][col]
+		if math.Abs(pv) < 1e-12 || math.IsNaN(pv) || math.IsInf(pv, 0) {
+			return nil, false
+		}
+		for r := col + 1; r < n; r++ {
+			f := A[r][col] / pv
+			if f == 0 {
+				continue
+			}
+			for c := col; c < n; c++ {
+				A[r][c] -= f * A[col][c]
+			}
+			b[r] -= f * b[col]
+		}
+	}
+	x := make([]float64, n)
+	for r := n - 1; r >= 0; r-- {
+		sum := b[r]
+		for c := r + 1; c < n; c++ {
+			sum -= A[r][c] * x[c]
+		}
+		x[r] = sum / A[r][r]
+		if math.IsNaN(x[r]) || math.IsInf(x[r], 0) {
+			return nil, false
+		}
+	}
+	return x, true
+}

@@ -1,0 +1,70 @@
+package forecast
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+// FuzzPredict pins the predictor safety contract: for an arbitrary
+// series of finite, non-negative observations — delivered either
+// directly to a Predictor or through a Forecaster with correction
+// feedback — the prediction is always finite and non-negative. A
+// forecast may be wrong; it must never hand the planner NaN, ±Inf or
+// negative demand. Seed corpus in testdata/fuzz/FuzzPredict.
+func FuzzPredict(f *testing.F) {
+	ramp := make([]byte, 0, 10*8)
+	for i := 0; i < 10; i++ {
+		ramp = binary.LittleEndian.AppendUint64(ramp, math.Float64bits(10+5*float64(i)))
+	}
+	f.Add(byte(0), ramp)
+	f.Add(byte(1), ramp)
+	f.Add(byte(2), []byte{})
+	spike := make([]byte, 0, 8*8)
+	for _, v := range []float64{1, 1, 1, 1, 400, 400, 1, 1} {
+		spike = binary.LittleEndian.AppendUint64(spike, math.Float64bits(v))
+	}
+	f.Add(byte(2), spike)
+
+	f.Fuzz(func(t *testing.T, sel byte, data []byte) {
+		series := make([]float64, 0, len(data)/8)
+		for len(data) >= 8 && len(series) < maxWindow {
+			v := math.Float64frombits(binary.LittleEndian.Uint64(data[:8]))
+			data = data[8:]
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue // the contract covers finite series
+			}
+			series = append(series, math.Abs(v))
+		}
+		preds := []Predictor{
+			Constant{},
+			Holt{Alpha: 0.5, Beta: 0.3},
+			WindowAR{Order: 1 + int(sel)%4},
+		}
+		p := preds[int(sel)%len(preds)]
+		got := p.Predict(series)
+		if math.IsNaN(got) || math.IsInf(got, 0) || got < 0 {
+			t.Fatalf("%s.Predict(%v) = %v", p.Name(), series, got)
+		}
+
+		// The full pipeline — history ring, correction feedback, export
+		// and restore — must uphold the same contract.
+		fc, err := New(Config{Predictor: p.Name(), CorrectionAlpha: 0.5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range series {
+			out := fc.Forecast("app", float64(i), v)
+			if math.IsNaN(out) || math.IsInf(out, 0) || out < 0 {
+				t.Fatalf("%s forecaster cycle %d: Forecast(%v) = %v", p.Name(), i, v, out)
+			}
+		}
+		st := fc.Export()
+		if err := st.Validate(); err != nil {
+			t.Fatalf("%s exported state invalid: %v", p.Name(), err)
+		}
+		if _, err := Restore(st); err != nil {
+			t.Fatalf("%s state did not restore: %v", p.Name(), err)
+		}
+	})
+}

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"testing"
@@ -133,7 +134,19 @@ func TestCoordinatorForwardsAroundDeadReplica(t *testing.T) {
 	front := httptest.NewServer(co.Handler())
 	defer front.Close()
 
-	for _, cluster := range []string{"c1", "c2", "c3", "c4"} {
+	// The rendezvous hash is a pure function of cluster name and replica
+	// URLs, so search for a name that provably homes at the corpse —
+	// fixed names may all land on the live replica for an unlucky pair
+	// of ephemeral ports, and then nothing would ever touch the corpse.
+	urls := []string{a.srv.URL, b.srv.URL}
+	deadHomed := ""
+	for i := 0; deadHomed == ""; i++ {
+		if name := fmt.Sprintf("cluster-%d", i); Home(name, urls) == b.srv.URL {
+			deadHomed = name
+		}
+	}
+
+	for _, cluster := range []string{"c1", "c2", "c3", deadHomed} {
 		resp, err := http.Post(front.URL+"/v1/plan", api.ContentTypeJSON, bytes.NewReader(planBody(t, cluster)))
 		if err != nil {
 			t.Fatal(err)

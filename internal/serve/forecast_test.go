@@ -1,0 +1,224 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"slaplace/api"
+	"slaplace/internal/control"
+	"slaplace/internal/core"
+	"slaplace/internal/forecast"
+)
+
+// TestServeForecastHint: a plan request may carry a forecast hint; the
+// session created from it plans predictively (visible in /v1/stats),
+// byte-identically to an in-process forecast-enabled session, and the
+// hint binds at session creation only.
+func TestServeForecastHint(t *testing.T) {
+	snaps := captureSnapshots(t, func() core.Controller { return core.New(core.DefaultConfig()) })
+	if len(snaps) > 8 {
+		snaps = snaps[:8]
+	}
+	srv := New(Options{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	hint := &api.ForecastConfig{Predictor: forecast.PredictorHolt}
+	predictive, err := control.NewSession(core.New(core.DefaultConfig()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := predictive.EnableForecast(hint.Config()); err != nil {
+		t.Fatal(err)
+	}
+	reactive, err := control.NewSession(core.New(core.DefaultConfig()))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	diverged := false
+	for i, snap := range snaps {
+		req := &api.PlanRequest{ClusterID: "pred", Snapshot: snap}
+		if i == 0 {
+			req.Forecast = hint
+		}
+		_, gotPlan := postPlan(t, ts.URL, req)
+		wirePlan, _, err := predictive.Propose(snap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := json.Marshal(wirePlan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(gotPlan, want) {
+			t.Fatalf("cycle %d: serve plan differs from in-process forecast session", i)
+		}
+		reactivePlan, _, err := reactive.Propose(snap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rb, _ := json.Marshal(reactivePlan)
+		if !bytes.Equal(gotPlan, rb) {
+			diverged = true
+		}
+	}
+	// If the hint were silently dropped the serve session would be
+	// reactive — and the comparison above would still pass whenever the
+	// predictor happens to echo observations. Demand it visibly predicts.
+	if !diverged {
+		t.Error("forecast-hinted session never diverged from the reactive plan sequence")
+	}
+
+	// A later request with a different hint keeps the session's config.
+	postPlan(t, ts.URL, &api.PlanRequest{
+		ClusterID: "pred", Snapshot: snaps[len(snaps)-1],
+		Forecast: &api.ForecastConfig{Predictor: forecast.PredictorConstant},
+	})
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats api.StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if len(stats.Sessions) != 1 {
+		t.Fatalf("sessions: %+v", stats.Sessions)
+	}
+	if got := stats.Sessions[0].ForecastPredictor; got != forecast.PredictorHolt {
+		t.Errorf("stats forecastPredictor = %q, want %q", got, forecast.PredictorHolt)
+	}
+
+	// An invalid hint is a 400 at the codec layer.
+	var buf bytes.Buffer
+	if err := api.EncodePlanRequest(&buf, &api.PlanRequest{
+		ClusterID: "bad", Snapshot: snaps[0],
+		Forecast: &api.ForecastConfig{Predictor: "arima"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	bad, err := http.Post(ts.URL+"/v1/plan", "application/json", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad.Body.Close()
+	if bad.StatusCode != http.StatusBadRequest {
+		t.Errorf("invalid forecast hint: status %d, want 400", bad.StatusCode)
+	}
+}
+
+// TestServeForecastDefault: a daemon-wide Options.Forecast applies to
+// sessions created without a hint, and a per-request hint overrides it.
+func TestServeForecastDefault(t *testing.T) {
+	snaps := captureSnapshots(t, func() core.Controller { return core.New(core.DefaultConfig()) })
+	def := forecast.Config{Predictor: forecast.PredictorAR, AROrder: 2, CorrectionAlpha: 0.25}
+	srv := New(Options{Forecast: &def})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	_, gotPlan := postPlan(t, ts.URL, &api.PlanRequest{ClusterID: "a", Snapshot: snaps[0]})
+	sess, err := control.NewSession(core.New(core.DefaultConfig()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.EnableForecast(def); err != nil {
+		t.Fatal(err)
+	}
+	wirePlan, _, err := sess.Propose(snaps[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := json.Marshal(wirePlan)
+	if !bytes.Equal(gotPlan, want) {
+		t.Error("daemon-default forecast plan differs from in-process session")
+	}
+
+	// A hint on a new cluster overrides the daemon default.
+	postPlan(t, ts.URL, &api.PlanRequest{
+		ClusterID: "b", Snapshot: snaps[0],
+		Forecast: &api.ForecastConfig{Predictor: forecast.PredictorConstant},
+	})
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats api.StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]string{}
+	for _, ss := range stats.Sessions {
+		got[ss.ClusterID] = ss.ForecastPredictor
+	}
+	if got["a"] != forecast.PredictorAR || got["b"] != forecast.PredictorConstant {
+		t.Errorf("forecast predictors by cluster = %v, want a:ar b:constant", got)
+	}
+}
+
+// TestServeForecastRestart: forecast state rides the durable
+// checkpoint — a daemon killed mid-sequence and restarted over the
+// same state dir continues the predictive plan sequence byte-identical
+// to an uninterrupted reference daemon.
+func TestServeForecastRestart(t *testing.T) {
+	snaps := captureSnapshots(t, func() core.Controller { return core.New(core.DefaultConfig()) })
+	cfg := forecast.Config{Predictor: forecast.PredictorHolt, CorrectionAlpha: 0.25}
+	stateDir := t.TempDir()
+
+	ref := httptest.NewServer(New(Options{Forecast: &cfg}).Handler())
+	defer ref.Close()
+
+	drive := func(url string, snap *api.Snapshot, cycle int) []byte {
+		t.Helper()
+		resp, raw := postPlan(t, url, &api.PlanRequest{ClusterID: "f", Snapshot: snap})
+		if resp.Cycle != cycle {
+			t.Fatalf("cycle %d, want %d", resp.Cycle, cycle)
+		}
+		return raw
+	}
+
+	half := len(snaps) / 2
+	if half == 0 {
+		t.Fatal("golden run too short to split")
+	}
+	srvA := httptest.NewServer(New(Options{Forecast: &cfg, StateDir: stateDir}).Handler())
+	for i := 0; i < half; i++ {
+		want := drive(ref.URL, snaps[i], i+1)
+		got := drive(srvA.URL, snaps[i], i+1)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("cycle %d (pre-kill): predictive plan differs from uninterrupted reference", i)
+		}
+	}
+	// kill -9: process state vanishes; only StateDir survives. The
+	// restarted daemon deliberately gets NO Options.Forecast — the
+	// checkpointed forecast state alone must re-arm prediction.
+	srvA.Close()
+
+	srvB := httptest.NewServer(New(Options{StateDir: stateDir}).Handler())
+	defer srvB.Close()
+	for i := half; i < len(snaps); i++ {
+		want := drive(ref.URL, snaps[i], i+1)
+		got := drive(srvB.URL, snaps[i], i+1)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("cycle %d (post-restart): predictive plan differs from uninterrupted reference", i)
+		}
+	}
+
+	resp, err := http.Get(srvB.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats api.StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if len(stats.Sessions) != 1 || stats.Sessions[0].ForecastPredictor != forecast.PredictorHolt {
+		t.Errorf("restored session stats = %+v, want holt predictor", stats.Sessions)
+	}
+}

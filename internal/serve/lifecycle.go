@@ -86,7 +86,7 @@ func (s *Server) ScanState() (restored int, err error) {
 			s.logf("serve: state scan: undecodable checkpoint name %q: %v", name, err)
 			continue
 		}
-		_, _, serr := s.session(clusterID, 0)
+		_, _, serr := s.session(clusterID, 0, nil)
 		var notOwner *notOwnerError
 		switch {
 		case errors.As(serr, &notOwner):

@@ -163,7 +163,7 @@ func TestClaimConcurrentAdoption(t *testing.T) {
 			wg.Add(1)
 			go func(i int, s *Server) {
 				defer wg.Done()
-				_, _, errs[i] = s.session("c", 0)
+				_, _, errs[i] = s.session("c", 0, nil)
 			}(i, s)
 		}
 		wg.Wait()

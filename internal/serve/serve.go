@@ -59,6 +59,7 @@ import (
 	"slaplace/api"
 	"slaplace/internal/control"
 	"slaplace/internal/core"
+	"slaplace/internal/forecast"
 	"slaplace/internal/shard"
 )
 
@@ -97,6 +98,13 @@ type Options struct {
 	// take a cluster over (its owner refreshes on every checkpoint
 	// write); 0 means 10s.
 	StaleClaimAfter time.Duration
+	// Forecast, when set, enables predictive planning on every session
+	// this daemon creates fresh: snapshots plan against forecast demand
+	// instead of observed demand. A plan request's own forecast hint
+	// wins over this default, and a restored checkpoint's forecast
+	// state wins over both (the restored session must continue the
+	// plan sequence it checkpointed, whatever this daemon's flags say).
+	Forecast *forecast.Config
 	// Logf logs operational events (corrupt state files, checkpoint
 	// write failures). nil discards.
 	Logf func(format string, args ...any)
@@ -182,15 +190,18 @@ func (s *Server) Handler() http.Handler {
 // dir, restoring) it on first use. shards is the request's sharding
 // hint: a session created with shards > 1 plans the cluster as that
 // many concurrent partitions (internal/shard); a restored checkpoint's
-// own shard count wins over the hint. The shape binds at creation;
-// later requests for the same cluster keep it.
+// own shard count wins over the hint. fc is the request's forecast
+// hint with the same precedence: it beats the daemon's Forecast
+// option, and a restored checkpoint's forecast state beats both. The
+// shape binds at creation; later requests for the same cluster keep
+// it.
 //
 // Only the session-table insert runs under the server lock. The
 // expensive part — building the controller, and on restore re-planning
 // the checkpointed snapshot — runs outside it, once, with concurrent
 // requests for the same new cluster waiting on the session's own init
 // and requests for other clusters unaffected.
-func (s *Server) session(clusterID string, shards int) (*clusterSession, int, error) {
+func (s *Server) session(clusterID string, shards int, fc *api.ForecastConfig) (*clusterSession, int, error) {
 	s.mu.Lock()
 	cs, ok := s.sessions[clusterID]
 	if !ok {
@@ -209,7 +220,7 @@ func (s *Server) session(clusterID string, shards int) (*clusterSession, int, er
 	}
 	s.mu.Unlock()
 
-	cs.once.Do(func() { cs.initErr = s.initSession(cs, clusterID, shards) })
+	cs.once.Do(func() { cs.initErr = s.initSession(cs, clusterID, shards, fc) })
 	if cs.initErr != nil {
 		// Evict the failed placeholder so a later request can retry.
 		s.mu.Lock()
@@ -234,7 +245,7 @@ func (s *Server) session(clusterID string, shards int) (*clusterSession, int, er
 // otherwise. A corrupt or mismatched checkpoint is logged and ignored
 // — a daemon must come up after a crash even if the disk lost a race
 // with it.
-func (s *Server) initSession(cs *clusterSession, clusterID string, shards int) error {
+func (s *Server) initSession(cs *clusterSession, clusterID string, shards int, fc *api.ForecastConfig) error {
 	// Claim before touching state: with replicas sharing the state dir,
 	// exactly one may adopt (or create) a cluster at a time.
 	if err := s.acquireClaim(clusterID); err != nil {
@@ -266,6 +277,19 @@ func (s *Server) initSession(cs *clusterSession, clusterID string, shards int) e
 	sess, err := control.NewSession(ctrl)
 	if err != nil {
 		return err
+	}
+	// Forecasting: the request hint wins over the daemon default (the
+	// restore path never reaches here — a checkpoint's forecast state
+	// rides control.RestoreSession).
+	fcfg := s.opts.Forecast
+	if fc != nil {
+		cfg := fc.Config()
+		fcfg = &cfg
+	}
+	if fcfg != nil {
+		if err := sess.EnableForecast(*fcfg); err != nil {
+			return err
+		}
 	}
 	cs.sess, cs.shards, cs.sharded = sess, shards, sharded
 	cs.ready.Store(true)
@@ -371,7 +395,7 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	if clusterID == "" {
 		clusterID = "default"
 	}
-	cs, status, err := s.session(clusterID, req.Shards)
+	cs, status, err := s.session(clusterID, req.Shards, req.Forecast)
 	if err != nil {
 		httpError(w, status, err)
 		return
@@ -487,6 +511,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		}
 		if cs.sess.TracksStats() {
 			ss.Stats = wireStats(cs.sess.PlanStats())
+		}
+		if cfg, on := cs.sess.ForecastConfig(); on {
+			ss.ForecastPredictor = cfg.Predictor
 		}
 		resp.Sessions = append(resp.Sessions, ss)
 	}

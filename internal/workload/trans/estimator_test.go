@@ -93,6 +93,59 @@ func TestEstimateBeforeObservation(t *testing.T) {
 	}
 }
 
+func TestSeriesUnprimedIsEmpty(t *testing.T) {
+	est := NewLambdaEstimator(0.5)
+	if s := est.Series(); len(s) != 0 {
+		t.Errorf("unprimed series = %v, want empty", s)
+	}
+}
+
+func TestSeriesPrimedPartialFill(t *testing.T) {
+	// Fewer windows than the ring holds: the series is exactly the
+	// post-EWMA estimate after each observation, oldest first.
+	est := NewLambdaEstimator(1.0) // no smoothing: estimate == window rate
+	rates := []float64{10, 20, 30}
+	for i, r := range rates {
+		t0 := float64(i) * 600
+		est.Observe(Constant{Rate: r}, t0, t0+600, nil)
+	}
+	got := est.Series()
+	if len(got) != len(rates) {
+		t.Fatalf("series length %d, want %d", len(got), len(rates))
+	}
+	for i, want := range rates {
+		if math.Abs(got[i]-want) > 1e-9 {
+			t.Errorf("series[%d] = %v, want %v", i, got[i], want)
+		}
+	}
+}
+
+func TestSeriesWraparound(t *testing.T) {
+	// More windows than the ring holds: only the newest 32 survive, in
+	// chronological order across the wrap point.
+	est := NewLambdaEstimator(1.0)
+	const windows = 80 // 2.5 rings
+	for i := 0; i < windows; i++ {
+		t0 := float64(i) * 600
+		est.Observe(Constant{Rate: float64(i + 1)}, t0, t0+600, nil)
+	}
+	got := est.Series()
+	if len(got) != seriesCap {
+		t.Fatalf("series length %d, want %d", len(got), seriesCap)
+	}
+	for i := range got {
+		want := float64(windows - seriesCap + i + 1)
+		if math.Abs(got[i]-want) > 1e-9 {
+			t.Fatalf("series[%d] = %v, want %v (wraparound misordered)", i, got[i], want)
+		}
+	}
+	// The returned slice is a copy: mutating it must not touch the ring.
+	got[0] = -1
+	if again := est.Series(); again[0] == -1 {
+		t.Error("Series returned the internal ring, not a copy")
+	}
+}
+
 func TestMonitoredLambdaThroughApp(t *testing.T) {
 	eng, _, rt := rig(t)
 	_ = eng

@@ -54,6 +54,7 @@ import (
 	"slaplace/internal/control"
 	"slaplace/internal/core"
 	"slaplace/internal/experiments"
+	"slaplace/internal/forecast"
 	"slaplace/internal/metrics"
 	"slaplace/internal/queueing"
 	"slaplace/internal/res"
@@ -214,6 +215,31 @@ func ShardedDiagnostics(ctrl Controller) (ShardDiagnostics, bool) {
 // paper-scenario experiments.
 func DefaultControllerConfig() ControllerConfig { return core.DefaultConfig() }
 
+// Predictive planning (demand forecasting).
+type (
+	// ForecastConfig selects and tunes a demand predictor; a session
+	// with forecasting enabled plans against predicted next-cycle
+	// demand instead of the last observation. See Session.EnableForecast
+	// and Scenario.Forecast.
+	ForecastConfig = forecast.Config
+)
+
+// Predictor names for ForecastConfig.Predictor.
+const (
+	// PredictorConstant predicts the last observation (with correction
+	// feedback, a Dynamo-style corrected persistence forecast).
+	PredictorConstant = forecast.PredictorConstant
+	// PredictorHolt is double exponential smoothing — level plus trend.
+	PredictorHolt = forecast.PredictorHolt
+	// PredictorAR fits an autoregressive model over a sliding window.
+	PredictorAR = forecast.PredictorAR
+)
+
+// DefaultForecastConfig returns the Holt predictor with correction
+// feedback — the configuration the ramp and flash-crowd experiments
+// use.
+func DefaultForecastConfig() ForecastConfig { return forecast.DefaultConfig() }
+
 // Baseline controllers for comparison studies.
 var (
 	// FCFS places jobs in arrival order at full speed, no preemption.
@@ -330,9 +356,21 @@ var (
 	SpikeScenario = experiments.SpikeScenario
 	// MultiAppScenario runs three web apps with different SLAs.
 	MultiAppScenario = experiments.MultiAppScenario
+	// RampScenario climbs the transactional load steeply — the
+	// demand-tracking stress predictive planning exists for.
+	RampScenario = experiments.RampScenario
+	// FlashCrowdScenario is the abrupt companion: two sustained load
+	// surges the arrival-rate estimate lags behind.
+	FlashCrowdScenario = experiments.FlashCrowdScenario
 	// QuickScenario is a fast smoke configuration.
 	QuickScenario = experiments.QuickScenario
 )
+
+// SLAViolations counts control samples where a transactional
+// application's measured utility was negative (response time above
+// goal) — the scalar the ramp and flash-crowd scenarios compare across
+// reactive and predictive runs.
+func SLAViolations(r *Result) int { return experiments.SLAViolations(r) }
 
 // Figure series names (recorder keys) for CSV export.
 var (
