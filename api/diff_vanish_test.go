@@ -1,0 +1,117 @@
+package api
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestDiffVanishedNode pins Plan.Diff when a node that hosted work in
+// the previous plan is absent from the next snapshot (crashed, departed
+// or hidden by a monitoring lie): the next plan simply places work
+// elsewhere, and the diff must express that as ordinary frees,
+// migrations and placements — freeing-first — with no action ever
+// targeting the vanished node.
+func TestDiffVanishedNode(t *testing.T) {
+	cases := []struct {
+		name       string
+		prev, next *Plan
+		want       []Action
+	}{
+		{
+			// The controller moved the orphaned job to a surviving node:
+			// one migration, addressed to the new node only.
+			name: "job migrates off vanished node",
+			prev: &Plan{Placement: Placement{
+				Jobs: []JobPlacement{{ID: "j1", State: JobRunning, Node: "gone", ShareMHz: 100}},
+			}},
+			next: &Plan{Placement: Placement{
+				Jobs: []JobPlacement{{ID: "j1", State: JobRunning, Node: "n2", ShareMHz: 100}},
+			}},
+			want: []Action{
+				{Type: ActionMigrateJob, Job: "j1", Node: "n2", ShareMHz: 100},
+			},
+		},
+		{
+			// No capacity left for the orphan: it is suspended, not
+			// migrated, and no action references the vanished node.
+			name: "job suspended after its node vanished",
+			prev: &Plan{Placement: Placement{
+				Jobs: []JobPlacement{{ID: "j1", State: JobRunning, Node: "gone", ShareMHz: 100}},
+			}},
+			next: &Plan{Placement: Placement{
+				Jobs: []JobPlacement{{ID: "j1", State: JobSuspended}},
+			}},
+			want: []Action{
+				{Type: ActionSuspendJob, Job: "j1"},
+			},
+		},
+		{
+			// A job that vanished together with its node completed (or
+			// was lost); the caller's runtime reclaims it without an
+			// action — the diff must not invent one.
+			name: "job vanishes with its node",
+			prev: &Plan{Placement: Placement{
+				Jobs: []JobPlacement{{ID: "j1", State: JobRunning, Node: "gone", ShareMHz: 100}},
+			}},
+			next: &Plan{},
+			want: []Action{},
+		},
+		{
+			// The app's instance relocates: the vanished-node removal is
+			// a free, so it precedes the replacement add.
+			name: "instance relocates freeing-first",
+			prev: &Plan{Placement: Placement{
+				Apps: []AppPlacement{{ID: "web", Instances: []Instance{{Node: "gone", ShareMHz: 15}}}},
+			}},
+			next: &Plan{Placement: Placement{
+				Apps: []AppPlacement{{ID: "web", Instances: []Instance{{Node: "n2", ShareMHz: 15}}}},
+			}},
+			want: []Action{
+				{Type: ActionRemoveInstance, App: "web", Node: "gone"},
+				{Type: ActionAddInstance, App: "web", Node: "n2", ShareMHz: 15},
+			},
+		},
+		{
+			// The full merge across both workload kinds: the vanished
+			// node's instance removal (free) first, then the orphan job's
+			// migration and the new instance (placements), then the
+			// surviving instance's retune (share) — the executor's
+			// two-phase discipline in one delta.
+			name: "combined frees then placements then shares",
+			prev: &Plan{Placement: Placement{
+				Jobs: []JobPlacement{{ID: "j1", State: JobRunning, Node: "gone", ShareMHz: 100}},
+				Apps: []AppPlacement{{ID: "web", Instances: []Instance{
+					{Node: "gone", ShareMHz: 15}, {Node: "n2", ShareMHz: 20},
+				}}},
+			}},
+			next: &Plan{Placement: Placement{
+				Jobs: []JobPlacement{{ID: "j1", State: JobRunning, Node: "n2", ShareMHz: 80}},
+				Apps: []AppPlacement{{ID: "web", Instances: []Instance{
+					{Node: "n2", ShareMHz: 25}, {Node: "n3", ShareMHz: 15},
+				}}},
+			}},
+			want: []Action{
+				{Type: ActionRemoveInstance, App: "web", Node: "gone"},
+				{Type: ActionMigrateJob, Job: "j1", Node: "n2", ShareMHz: 80},
+				{Type: ActionAddInstance, App: "web", Node: "n3", ShareMHz: 15},
+				{Type: ActionSetInstanceShare, App: "web", Node: "n2", ShareMHz: 25},
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := tc.next.Diff(tc.prev)
+			if len(got) == 0 && len(tc.want) == 0 {
+				return
+			}
+			if !reflect.DeepEqual(got, tc.want) {
+				t.Errorf("Diff:\n got %+v\nwant %+v", got, tc.want)
+			}
+			for _, act := range got {
+				if act.Node == "gone" && act.Type != ActionRemoveInstance && act.Type != ActionSuspendJob {
+					t.Errorf("action %+v targets the vanished node", act)
+				}
+			}
+		})
+	}
+}

@@ -15,6 +15,9 @@
 //	                 (default "utility"; overrides the scenario's choice)
 //	-forecast name   plan against predicted demand: constant | holt | ar
 //	                 (default off: react to the last observation)
+//	-chaos family    perturb the snapshot stream with a fault family:
+//	                 crash | lag | flap | wave | stale | all
+//	                 (default off; seeded from -seed)
 //	-static-frac f   batch node fraction for the static controller
 //	-shards k        plan the cluster as k concurrent shards (default 1;
 //	                 "utility" shards use the default configuration)
@@ -48,6 +51,7 @@ func main() {
 		ctrlName     = flag.String("controller", "utility", "placement controller")
 		staticFrac   = flag.Float64("static-frac", 0.6, "batch fraction for -controller static")
 		forecastName = flag.String("forecast", "", "demand predictor: constant, holt, or ar (empty = reactive)")
+		chaosFamily  = flag.String("chaos", "", "fault family to inject: crash, lag, flap, wave, stale, or all (empty = none)")
 		shards       = flag.Int("shards", 1, "plan the cluster as this many concurrent shards (1 = unsharded)")
 		seed         = flag.Uint64("seed", 42, "RNG seed")
 		replicas     = flag.Int("replicas", 1, "replica count (seeds seed..seed+r-1)")
@@ -125,6 +129,14 @@ func main() {
 	if fcCfg != nil {
 		sc.Forecast = fcCfg
 	}
+	if *chaosFamily != "" {
+		ccfg, err := slaplace.ChaosFamilyConfig(*chaosFamily, *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "slaplace-sim:", err)
+			os.Exit(2)
+		}
+		sc.Chaos = ccfg
+	}
 
 	if *replicas < 1 {
 		fmt.Fprintln(os.Stderr, "slaplace-sim: -replicas must be >= 1")
@@ -161,6 +173,13 @@ func main() {
 		if fcCfg != nil {
 			fc := *fcCfg
 			replica.Forecast = &fc
+		}
+		if *chaosFamily != "" {
+			// Each replica's faults are seeded by its own run seed.
+			ccfg, err := slaplace.ChaosFamilyConfig(*chaosFamily, *seed+uint64(i))
+			if err == nil {
+				replica.Chaos = ccfg
+			}
 		}
 		scs = append(scs, replica)
 	}

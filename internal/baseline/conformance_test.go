@@ -16,17 +16,11 @@ import (
 
 // Conformance suite: every controller — the utility pipeline and all
 // four baselines — must satisfy the same planning invariants on the
-// same snapshots:
-//
-//  1. no plan overcommits a node's memory — the vm layer rejects such
-//     placements outright, so a violating plan means failed actions,
-//  2. no plan's job tier alone exceeds a node's CPU power — every
-//     policy sizes job shares against real capacity (the web tier may
-//     additionally reserve demand on top; full-speed baselines lean on
-//     the vm layer's proportional rescaling for that overlap, so the
-//     web+jobs total is a policy property, not a conformance one),
-//  3. actions never reference unknown jobs, nodes or applications,
-//  4. identical states yield identical plans (determinism).
+// same snapshots. The invariants themselves (no memory overcommit, no
+// job-tier CPU overcommit, no unknown references, no lost or duplicated
+// jobs) live in core.CheckPlan, shared with the shard merge tests and
+// the chaos replay harness; this suite adds determinism (identical
+// states yield identical plans) and the merged-plan ordering contract.
 
 // conformers returns every controller under test: the five policies
 // plus a K=3 sharded wrapper of each — merged multi-shard plans must
@@ -173,185 +167,6 @@ func cloneState(st *core.State) *core.State {
 	return cp
 }
 
-// checkReferences verifies every action references a known job, node
-// and application.
-func checkReferences(t *testing.T, st *core.State, plan *core.Plan) {
-	t.Helper()
-	knownNode := map[cluster.NodeID]bool{}
-	for _, n := range st.Nodes {
-		knownNode[n.ID] = true
-	}
-	knownJob := map[batch.JobID]bool{}
-	for _, j := range st.Jobs {
-		knownJob[j.ID] = true
-	}
-	knownApp := map[trans.AppID]bool{}
-	for _, a := range st.Apps {
-		knownApp[a.ID] = true
-	}
-	for _, act := range plan.Actions {
-		switch a := act.(type) {
-		case core.StartJob:
-			if !knownJob[a.Job] || !knownNode[a.Node] {
-				t.Errorf("action %v references unknown job/node", a)
-			}
-		case core.ResumeJob:
-			if !knownJob[a.Job] || !knownNode[a.Node] {
-				t.Errorf("action %v references unknown job/node", a)
-			}
-		case core.SuspendJob:
-			if !knownJob[a.Job] {
-				t.Errorf("action %v references unknown job", a)
-			}
-		case core.MigrateJob:
-			if !knownJob[a.Job] || !knownNode[a.Dst] {
-				t.Errorf("action %v references unknown job/node", a)
-			}
-		case core.SetJobShare:
-			if !knownJob[a.Job] {
-				t.Errorf("action %v references unknown job", a)
-			}
-		case core.AddInstance:
-			if !knownApp[a.App] || !knownNode[a.Node] {
-				t.Errorf("action %v references unknown app/node", a)
-			}
-		case core.RemoveInstance:
-			if !knownApp[a.App] || !knownNode[a.Node] {
-				t.Errorf("action %v references unknown app/node", a)
-			}
-		case core.SetInstanceShare:
-			if !knownApp[a.App] || !knownNode[a.Node] {
-				t.Errorf("action %v references unknown app/node", a)
-			}
-		default:
-			t.Errorf("unknown action type %T", act)
-		}
-	}
-}
-
-// checkOccupancy replays the plan onto the snapshot and verifies no
-// node ends over its memory capacity and no node's job tier alone is
-// granted more CPU than the node has.
-func checkOccupancy(t *testing.T, st *core.State, plan *core.Plan) {
-	t.Helper()
-	type book struct {
-		mem res.Memory
-		cpu res.CPU // job-tier shares only
-	}
-	books := map[cluster.NodeID]*book{}
-	for _, n := range st.Nodes {
-		books[n.ID] = &book{}
-	}
-
-	// Index plan decisions per job / instance.
-	suspended := map[batch.JobID]bool{}
-	migrated := map[batch.JobID]cluster.NodeID{}
-	newShare := map[batch.JobID]res.CPU{}
-	started := map[batch.JobID]core.StartJob{}
-	resumed := map[batch.JobID]core.ResumeJob{}
-	migShare := map[batch.JobID]res.CPU{}
-	instRemoved := map[trans.AppID]map[cluster.NodeID]bool{}
-	instAdded := []core.AddInstance{}
-	instShare := map[trans.AppID]map[cluster.NodeID]res.CPU{}
-	for _, act := range plan.Actions {
-		switch a := act.(type) {
-		case core.SuspendJob:
-			suspended[a.Job] = true
-		case core.MigrateJob:
-			migrated[a.Job] = a.Dst
-			migShare[a.Job] = a.Share
-		case core.SetJobShare:
-			newShare[a.Job] = a.Share
-		case core.StartJob:
-			started[a.Job] = a
-		case core.ResumeJob:
-			resumed[a.Job] = a
-		case core.RemoveInstance:
-			if instRemoved[a.App] == nil {
-				instRemoved[a.App] = map[cluster.NodeID]bool{}
-			}
-			instRemoved[a.App][a.Node] = true
-		case core.AddInstance:
-			instAdded = append(instAdded, a)
-		case core.SetInstanceShare:
-			if instShare[a.App] == nil {
-				instShare[a.App] = map[cluster.NodeID]res.CPU{}
-			}
-			instShare[a.App][a.Node] = a.Share
-		}
-	}
-
-	// Jobs after the plan.
-	for _, j := range st.Jobs {
-		switch {
-		case suspended[j.ID]:
-			// Off the node.
-		case j.State == batch.Running:
-			node, share := j.Node, j.Share
-			if dst, ok := migrated[j.ID]; ok {
-				node, share = dst, migShare[j.ID]
-			} else if s, ok := newShare[j.ID]; ok {
-				share = s
-			}
-			if b, ok := books[node]; ok {
-				b.mem += j.Mem
-				b.cpu += share
-			}
-		case j.State == batch.Pending:
-			if a, ok := started[j.ID]; ok {
-				if b, ok := books[a.Node]; ok {
-					b.mem += j.Mem
-					b.cpu += a.Share
-				}
-			}
-		case j.State == batch.Suspended:
-			if a, ok := resumed[j.ID]; ok {
-				if b, ok := books[a.Node]; ok {
-					b.mem += j.Mem
-					b.cpu += a.Share
-				}
-			}
-		}
-	}
-	// Web instances after the plan (memory only: instance CPU shares
-	// overlap the job tier by policy design, see the suite comment).
-	for _, app := range st.Apps {
-		for node := range app.Instances {
-			if instRemoved[app.ID][node] {
-				continue
-			}
-			b, ok := books[node]
-			if !ok {
-				continue // node vanished; instance gone with it
-			}
-			b.mem += app.InstanceMem
-		}
-	}
-	for _, a := range instAdded {
-		var mem res.Memory
-		for _, app := range st.Apps {
-			if app.ID == a.App {
-				mem = app.InstanceMem
-			}
-		}
-		// Unknown-node references are checkReferences' finding; don't
-		// let them panic the occupancy replay.
-		if b, ok := books[a.Node]; ok {
-			b.mem += mem
-		}
-	}
-
-	for _, n := range st.Nodes {
-		b := books[n.ID]
-		if b.mem > n.Mem {
-			t.Errorf("node %s over memory: %v > %v", n.ID, b.mem, n.Mem)
-		}
-		if float64(b.cpu) > float64(n.CPU)*(1+1e-9) {
-			t.Errorf("node %s job tier over CPU: %v > %v", n.ID, b.cpu, n.CPU)
-		}
-	}
-}
-
 func TestControllerConformance(t *testing.T) {
 	for _, ctrl := range conformers() {
 		t.Run(ctrl.Name(), func(t *testing.T) {
@@ -361,8 +176,38 @@ func TestControllerConformance(t *testing.T) {
 					if plan == nil {
 						t.Fatal("nil plan")
 					}
-					checkReferences(t, st, plan)
-					checkOccupancy(t, st, plan)
+					if err := core.CheckPlan(st, plan); err != nil {
+						t.Error(err)
+					}
+				})
+			}
+		})
+	}
+}
+
+// TestShardedMergeFreeingFirst pins the ordering contract of merged
+// multi-shard plans: the merge emits every shard's freeing actions
+// (suspends, instance removals) before any shard's placements, so a
+// single-pass executor never needs memory a later free would release.
+// Single-policy plans may interleave — only the merge promises the
+// global order.
+func TestShardedMergeFreeingFirst(t *testing.T) {
+	base := map[string]func() core.Controller{
+		"utility":   func() core.Controller { return core.New(core.DefaultConfig()) },
+		"fcfs":      func() core.Controller { return baseline.FCFS{} },
+		"edf":       func() core.Controller { return baseline.EDF{} },
+		"fairshare": func() core.Controller { return baseline.FairShare{} },
+		"static":    func() core.Controller { return baseline.Static{BatchFraction: 0.6} },
+	}
+	for name, newCtrl := range base {
+		t.Run(name, func(t *testing.T) {
+			ctrl := shard.New(shard.Config{Shards: 3, NewController: newCtrl})
+			for sname, st := range conformanceStates(t) {
+				t.Run(sname, func(t *testing.T) {
+					plan := ctrl.Plan(cloneState(st))
+					if err := core.FreeingFirst(plan.Actions); err != nil {
+						t.Error(err)
+					}
 				})
 			}
 		})

@@ -94,6 +94,11 @@ type Loop struct {
 	rec     *metrics.Recorder
 	opts    Options
 
+	// cycleBackend is what control cycles actually run against: the
+	// SimBackend itself, or a wrapper installed by WrapBackend (the
+	// chaos harness perturbs snapshots and audits plans this way).
+	cycleBackend ClusterBackend
+
 	ran          bool    // at least one cycle has run
 	lastCycleAt  float64 // previous cycle time (monitoring window start)
 	cancelCycle  func()
@@ -117,7 +122,17 @@ func NewLoop(eng *sim.Engine, cl *cluster.Cluster, mgr *vm.Manager,
 	if err != nil {
 		return nil, err
 	}
-	return &Loop{eng: eng, backend: backend, sess: sess, rec: rec, opts: opts}, nil
+	return &Loop{eng: eng, backend: backend, sess: sess, rec: rec,
+		opts: opts, cycleBackend: backend}, nil
+}
+
+// WrapBackend interposes wrap between the control cycle and the
+// simulator backend: subsequent cycles run against wrap's result
+// instead of the SimBackend directly. The chaos harness uses this to
+// perturb snapshots and audit plans without the loop knowing. Call
+// before Start.
+func (l *Loop) WrapBackend(wrap func(ClusterBackend) ClusterBackend) {
+	l.cycleBackend = wrap(l.cycleBackend)
 }
 
 // Session returns the loop's planning session.
@@ -173,7 +188,7 @@ func (l *Loop) RunCycle(now float64) {
 		l.ran = true
 	}
 	l.lastCycleAt = now
-	l.sess.Cycle(l.backend, l.rec, t0, now)
+	l.sess.Cycle(l.cycleBackend, l.rec, t0, now)
 }
 
 // FailNode injects a node failure: the node goes offline and every

@@ -1,0 +1,289 @@
+package core
+
+import (
+	"fmt"
+
+	"slaplace/internal/cluster"
+	"slaplace/internal/res"
+	"slaplace/internal/workload/batch"
+	"slaplace/internal/workload/trans"
+)
+
+// CheckPlan verifies the executor-facing invariants every controller's
+// plan must satisfy against the snapshot it was planned from:
+//
+//  1. every action references a job, application and node the snapshot
+//     knows about (a running job's *current* node may be unknown — that
+//     is the crash-stranded case the plan is allowed to clean up — but
+//     placement targets must exist),
+//  2. no job is lost or duplicated: at most one action per job, and the
+//     action matches the job's snapshot state (start a Pending job,
+//     resume a Suspended one, suspend/migrate/reshare a Running one),
+//  3. at most one action per (application, node) instance, adding only
+//     where no instance runs and removing/resharing only where one does,
+//  4. shares are non-negative,
+//  5. replaying the plan two-phase (frees land before placements, the
+//     executor's contract) leaves no node over its memory capacity and
+//     no node's job tier alone over its CPU power.
+//
+// It returns nil when the plan is sound, or an error naming the first
+// violation. The conformance suite, the shard merge tests and the chaos
+// replay harness all run plans through this single checker.
+func CheckPlan(st *State, plan *Plan) error {
+	if plan == nil {
+		return fmt.Errorf("core: nil plan")
+	}
+	nodes := make(map[cluster.NodeID]NodeInfo, len(st.Nodes))
+	for _, n := range st.Nodes {
+		nodes[n.ID] = n
+	}
+	jobs := make(map[batch.JobID]JobInfo, len(st.Jobs))
+	for _, j := range st.Jobs {
+		jobs[j.ID] = j
+	}
+	apps := make(map[trans.AppID]AppInfo, len(st.Apps))
+	for _, a := range st.Apps {
+		apps[a.ID] = a
+	}
+
+	jobActed := make(map[batch.JobID]Action)
+	actJob := func(act Action, id batch.JobID, want batch.State) error {
+		j, ok := jobs[id]
+		if !ok {
+			return fmt.Errorf("core: %v references unknown job %s", act, id)
+		}
+		if prev, dup := jobActed[id]; dup {
+			return fmt.Errorf("core: job %s receives two actions: %v then %v", id, prev, act)
+		}
+		jobActed[id] = act
+		if j.State != want {
+			return fmt.Errorf("core: %v targets %v job %s (want %v)", act, j.State, id, want)
+		}
+		return nil
+	}
+	instActed := make(map[trans.AppID]map[cluster.NodeID]bool)
+	actInst := func(act Action, id trans.AppID, n cluster.NodeID, wantPresent bool) error {
+		a, ok := apps[id]
+		if !ok {
+			return fmt.Errorf("core: %v references unknown app %s", act, id)
+		}
+		if _, ok := nodes[n]; !ok {
+			return fmt.Errorf("core: %v references unknown node %s", act, n)
+		}
+		if instActed[id][n] {
+			return fmt.Errorf("core: instance %s/%s receives a second action %v", id, n, act)
+		}
+		if instActed[id] == nil {
+			instActed[id] = make(map[cluster.NodeID]bool)
+		}
+		instActed[id][n] = true
+		if _, present := a.Instances[n]; present != wantPresent {
+			if wantPresent {
+				return fmt.Errorf("core: %v targets %s with no instance on %s", act, id, n)
+			}
+			return fmt.Errorf("core: %v adds a duplicate instance of %s on %s", act, id, n)
+		}
+		return nil
+	}
+	checkNode := func(act Action, n cluster.NodeID) error {
+		if _, ok := nodes[n]; !ok {
+			return fmt.Errorf("core: %v references unknown node %s", act, n)
+		}
+		return nil
+	}
+	checkShare := func(act Action, s res.CPU) error {
+		if s < 0 {
+			return fmt.Errorf("core: %v has negative share %v", act, s)
+		}
+		return nil
+	}
+
+	for _, act := range plan.Actions {
+		var err error
+		switch a := act.(type) {
+		case StartJob:
+			if err = actJob(a, a.Job, batch.Pending); err == nil {
+				if err = checkNode(a, a.Node); err == nil {
+					err = checkShare(a, a.Share)
+				}
+			}
+		case ResumeJob:
+			if err = actJob(a, a.Job, batch.Suspended); err == nil {
+				if err = checkNode(a, a.Node); err == nil {
+					err = checkShare(a, a.Share)
+				}
+			}
+		case SuspendJob:
+			err = actJob(a, a.Job, batch.Running)
+		case MigrateJob:
+			if err = actJob(a, a.Job, batch.Running); err == nil {
+				if err = checkNode(a, a.Dst); err == nil {
+					err = checkShare(a, a.Share)
+				}
+			}
+		case SetJobShare:
+			if err = actJob(a, a.Job, batch.Running); err == nil {
+				err = checkShare(a, a.Share)
+			}
+		case AddInstance:
+			if err = actInst(a, a.App, a.Node, false); err == nil {
+				err = checkShare(a, a.Share)
+			}
+		case RemoveInstance:
+			err = actInst(a, a.App, a.Node, true)
+		case SetInstanceShare:
+			if err = actInst(a, a.App, a.Node, true); err == nil {
+				err = checkShare(a, a.Share)
+			}
+		default:
+			err = fmt.Errorf("core: unknown action type %T", act)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return checkOccupancy(st, plan, nodes)
+}
+
+// checkOccupancy replays the plan two-phase onto the snapshot — frees
+// land before placements, the executor's sequencing contract — and
+// verifies no node ends over its memory capacity and no node's job
+// tier alone is granted more CPU than the node has. (Web instance CPU
+// shares overlap the job tier by policy design: full-speed baselines
+// lean on the vm layer's proportional rescaling, so the web+jobs CPU
+// total is a policy property, not an invariant.)
+func checkOccupancy(st *State, plan *Plan, nodes map[cluster.NodeID]NodeInfo) error {
+	type book struct {
+		mem res.Memory
+		cpu res.CPU // job-tier shares only
+	}
+	books := make(map[cluster.NodeID]*book, len(st.Nodes))
+	for _, n := range st.Nodes {
+		books[n.ID] = &book{}
+	}
+
+	// Index plan decisions per job / instance.
+	suspended := map[batch.JobID]bool{}
+	migrated := map[batch.JobID]cluster.NodeID{}
+	newShare := map[batch.JobID]res.CPU{}
+	started := map[batch.JobID]StartJob{}
+	resumed := map[batch.JobID]ResumeJob{}
+	migShare := map[batch.JobID]res.CPU{}
+	instRemoved := map[trans.AppID]map[cluster.NodeID]bool{}
+	instAdded := []AddInstance{}
+	for _, act := range plan.Actions {
+		switch a := act.(type) {
+		case SuspendJob:
+			suspended[a.Job] = true
+		case MigrateJob:
+			migrated[a.Job] = a.Dst
+			migShare[a.Job] = a.Share
+		case SetJobShare:
+			newShare[a.Job] = a.Share
+		case StartJob:
+			started[a.Job] = a
+		case ResumeJob:
+			resumed[a.Job] = a
+		case RemoveInstance:
+			if instRemoved[a.App] == nil {
+				instRemoved[a.App] = map[cluster.NodeID]bool{}
+			}
+			instRemoved[a.App][a.Node] = true
+		case AddInstance:
+			instAdded = append(instAdded, a)
+		}
+	}
+
+	// Jobs after the plan. Bookings on nodes the snapshot does not know
+	// are skipped: a running job stranded on a vanished node occupies no
+	// live capacity.
+	for _, j := range st.Jobs {
+		switch {
+		case suspended[j.ID]:
+			// Off the node.
+		case j.State == batch.Running:
+			node, share := j.Node, j.Share
+			if dst, ok := migrated[j.ID]; ok {
+				node, share = dst, migShare[j.ID]
+			} else if s, ok := newShare[j.ID]; ok {
+				share = s
+			}
+			if b, ok := books[node]; ok {
+				b.mem += j.Mem
+				b.cpu += share
+			}
+		case j.State == batch.Pending:
+			if a, ok := started[j.ID]; ok {
+				if b, ok := books[a.Node]; ok {
+					b.mem += j.Mem
+					b.cpu += a.Share
+				}
+			}
+		case j.State == batch.Suspended:
+			if a, ok := resumed[j.ID]; ok {
+				if b, ok := books[a.Node]; ok {
+					b.mem += j.Mem
+					b.cpu += a.Share
+				}
+			}
+		}
+	}
+	// Web instances after the plan (memory only, per the note above).
+	for _, app := range st.Apps {
+		for node := range app.Instances {
+			if instRemoved[app.ID][node] {
+				continue
+			}
+			if b, ok := books[node]; ok {
+				b.mem += app.InstanceMem
+			}
+		}
+	}
+	for _, a := range instAdded {
+		var mem res.Memory
+		for _, app := range st.Apps {
+			if app.ID == a.App {
+				mem = app.InstanceMem
+			}
+		}
+		if b, ok := books[a.Node]; ok {
+			b.mem += mem
+		}
+	}
+
+	for _, n := range st.Nodes {
+		b := books[n.ID]
+		if b.mem > n.Mem {
+			return fmt.Errorf("core: node %s over memory: %v > %v", n.ID, b.mem, n.Mem)
+		}
+		if float64(b.cpu) > float64(n.CPU)*(1+1e-9) {
+			return fmt.Errorf("core: node %s job tier over CPU: %v > %v", n.ID, b.cpu, n.CPU)
+		}
+	}
+	return nil
+}
+
+// FreeingFirst verifies the strict list-level ordering that merged
+// shard plans and wire-plan diffs promise: every freeing action
+// (SuspendJob, RemoveInstance) precedes every non-freeing action
+// (placements and share changes). Single-policy plans interleave frees
+// with placements — the two-phase executor makes that safe — so this
+// check applies only to outputs that document the global order.
+func FreeingFirst(actions []Action) error {
+	placed := false
+	var firstPlace Action
+	for _, act := range actions {
+		switch act.(type) {
+		case SuspendJob, RemoveInstance:
+			if placed {
+				return fmt.Errorf("core: freeing action %v after non-freeing action %v", act, firstPlace)
+			}
+		default:
+			if !placed {
+				placed = true
+				firstPlace = act
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"fmt"
+
+	"slaplace/internal/chaos"
+	"slaplace/internal/workload/batch"
+	"slaplace/internal/workload/trans"
+)
+
+// The chaos scenario family replays a small mixed workload while the
+// seeded fault engine (internal/chaos) disrupts the snapshot stream.
+// One family per pathology, plus "all" combining every family — each
+// deterministic under its seed, so replays digest-match plan for plan.
+
+// ChaosFamilies lists the fault family names ChaosScenario accepts.
+var ChaosFamilies = []string{"crash", "lag", "flap", "wave", "stale", "all"}
+
+// ChaosFamilyConfig returns the canned chaos configuration for a named
+// family. Cycle numbers are tuned for the family scenario's ~24-cycle
+// horizon.
+func ChaosFamilyConfig(family string, seed uint64) (*chaos.Config, error) {
+	cfg := &chaos.Config{Seed: seed}
+	crash := &chaos.Crash{Every: 6, Start: 3}
+	lag := &chaos.Crash{Every: 8, Start: 3, DetectionLag: 2, RestoreAfter: 5}
+	flap := &chaos.Flap{Nodes: 2, Period: 2, Start: 4}
+	wave := &chaos.Wave{DepartAt: 6, Count: 3, ReturnAt: 12}
+	stale := &chaos.Stale{DuplicateEvery: 5, RegressEvery: 7}
+	switch family {
+	case "crash":
+		// Permanent single-node crashes, detected next cycle.
+		cfg.Crash = crash
+	case "lag":
+		// Crashes the monitor keeps denying for two cycles, with the
+		// node restored later.
+		cfg.Crash = lag
+	case "flap":
+		// Two nodes blink in and out of the snapshot every other cycle.
+		cfg.Flap = flap
+	case "wave":
+		// Three nodes drop at once mid-run and return together later.
+		cfg.Wave = wave
+	case "stale":
+		// The monitor re-delivers old snapshots: duplicated (re-stamped)
+		// and regressed (verbatim) reports.
+		cfg.Stale = stale
+	case "all":
+		cfg.Crash = lag
+		cfg.Flap = flap
+		cfg.Wave = wave
+		cfg.Stale = stale
+	default:
+		return nil, fmt.Errorf("experiments: unknown chaos family %q (families: %v)",
+			family, ChaosFamilies)
+	}
+	return cfg, nil
+}
+
+// ChaosScenario builds the chaos benchmark for one fault family: the
+// quick scenario's workload mix on a larger 8-node cluster (so crashes
+// and waves never exhaust it), with the family's fault schedule armed.
+func ChaosScenario(seed uint64, family string) (Scenario, error) {
+	cfg, err := ChaosFamilyConfig(family, seed)
+	if err != nil {
+		return Scenario{}, err
+	}
+	sc := QuickScenario(seed)
+	sc.Name = "chaos-" + family
+	sc.Nodes = 8
+	sc.Jobs[0].MaxJobs = 30
+	sc.Jobs[0].Phases = []batch.Phase{{Start: 0, MeanInterarrival: 200}}
+	web := PaperWebConfig()
+	web.Pattern = trans.Constant{Rate: 12}
+	// The paper's farm-spanning instance floor would dominate a small
+	// chaotic cluster; two instances keep the web tier placeable while
+	// nodes come and go.
+	web.MinInstances = 2
+	sc.Apps = []trans.Config{web}
+	sc.Chaos = cfg
+	return sc, nil
+}

@@ -6,6 +6,7 @@ import (
 	"io"
 
 	"slaplace/internal/baseline"
+	"slaplace/internal/chaos"
 	"slaplace/internal/cluster"
 	"slaplace/internal/control"
 	"slaplace/internal/core"
@@ -48,6 +49,10 @@ type ScenarioJSON struct {
 	Jobs   []JobStreamJSON `json:"jobs"`
 	Apps   []AppJSON       `json:"apps"`
 	Faults []FaultJSON     `json:"faults"`
+
+	// Chaos, when present, arms the seeded fault-injection engine for
+	// the run (internal/chaos).
+	Chaos *ChaosJSON `json:"chaos"`
 }
 
 // CostJSON mirrors vm.Costs.
@@ -181,6 +186,81 @@ type FaultJSON struct {
 	RestoreAt float64 `json:"restoreAt"`
 }
 
+// ChaosJSON mirrors chaos.Config: a seed plus one block per fault
+// family. A zero (or omitted) seed falls back to the scenario seed.
+type ChaosJSON struct {
+	Seed  uint64          `json:"seed"`
+	Crash *ChaosCrashJSON `json:"crash"`
+	Flap  *ChaosFlapJSON  `json:"flap"`
+	Wave  *ChaosWaveJSON  `json:"wave"`
+	Stale *ChaosStaleJSON `json:"stale"`
+}
+
+// ChaosCrashJSON mirrors chaos.Crash.
+type ChaosCrashJSON struct {
+	Every        int `json:"every"`
+	Start        int `json:"start"`
+	DetectionLag int `json:"detectionLag"`
+	RestoreAfter int `json:"restoreAfter"`
+}
+
+// ChaosFlapJSON mirrors chaos.Flap.
+type ChaosFlapJSON struct {
+	Nodes  int `json:"nodes"`
+	Period int `json:"period"`
+	Start  int `json:"start"`
+}
+
+// ChaosWaveJSON mirrors chaos.Wave.
+type ChaosWaveJSON struct {
+	DepartAt int `json:"departAt"`
+	Count    int `json:"count"`
+	ReturnAt int `json:"returnAt"`
+}
+
+// ChaosStaleJSON mirrors chaos.Stale.
+type ChaosStaleJSON struct {
+	DuplicateEvery int `json:"duplicateEvery"`
+	RegressEvery   int `json:"regressEvery"`
+}
+
+// Build converts and validates the chaos block.
+func (chj ChaosJSON) Build() (chaos.Config, error) {
+	cfg := chaos.Config{Seed: chj.Seed}
+	if chj.Crash != nil {
+		cfg.Crash = &chaos.Crash{
+			Every:        chj.Crash.Every,
+			Start:        chj.Crash.Start,
+			DetectionLag: chj.Crash.DetectionLag,
+			RestoreAfter: chj.Crash.RestoreAfter,
+		}
+	}
+	if chj.Flap != nil {
+		cfg.Flap = &chaos.Flap{
+			Nodes:  chj.Flap.Nodes,
+			Period: chj.Flap.Period,
+			Start:  chj.Flap.Start,
+		}
+	}
+	if chj.Wave != nil {
+		cfg.Wave = &chaos.Wave{
+			DepartAt: chj.Wave.DepartAt,
+			Count:    chj.Wave.Count,
+			ReturnAt: chj.Wave.ReturnAt,
+		}
+	}
+	if chj.Stale != nil {
+		cfg.Stale = &chaos.Stale{
+			DuplicateEvery: chj.Stale.DuplicateEvery,
+			RegressEvery:   chj.Stale.RegressEvery,
+		}
+	}
+	if err := cfg.Validate(); err != nil {
+		return chaos.Config{}, fmt.Errorf("experiments: chaos: %w", err)
+	}
+	return cfg, nil
+}
+
 // LoadScenario parses a JSON scenario and builds it.
 func LoadScenario(r io.Reader) (Scenario, error) {
 	var sj ScenarioJSON
@@ -274,6 +354,13 @@ func (sj ScenarioJSON) Build() (Scenario, error) {
 			FailAt:    fj.FailAt,
 			RestoreAt: fj.RestoreAt,
 		})
+	}
+	if sj.Chaos != nil {
+		cfg, err := sj.Chaos.Build()
+		if err != nil {
+			return Scenario{}, err
+		}
+		sc.Chaos = &cfg
 	}
 	if err := sc.Validate(); err != nil {
 		return Scenario{}, err

@@ -180,6 +180,47 @@ func TestLoadScenarioForecastBlock(t *testing.T) {
 	}
 }
 
+// TestLoadScenarioChaosBlock: a chaos block arms the fault engine with
+// exactly the configured families; an invalid schedule is a hard error.
+func TestLoadScenarioChaosBlock(t *testing.T) {
+	withChaos := strings.Replace(validJSON,
+		`"faults": [{"node": "node-002", "failAt": 3000, "restoreAt": 5000}]`,
+		`"faults": [],
+		 "chaos": {"seed": 9,
+		           "crash": {"every": 4, "start": 2, "detectionLag": 2},
+		           "stale": {"duplicateEvery": 3}}`, 1)
+	sc, err := LoadScenario(strings.NewReader(withChaos))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Chaos == nil {
+		t.Fatal("chaos block not applied")
+	}
+	if sc.Chaos.Seed != 9 || sc.Chaos.Crash == nil || sc.Chaos.Crash.DetectionLag != 2 ||
+		sc.Chaos.Stale == nil || sc.Chaos.Stale.DuplicateEvery != 3 {
+		t.Fatalf("chaos config wrong: %+v", sc.Chaos)
+	}
+	if sc.Chaos.Flap != nil || sc.Chaos.Wave != nil {
+		t.Fatalf("unconfigured families armed: %+v", sc.Chaos)
+	}
+
+	// An invalid schedule inside the block must fail the load.
+	bad := strings.Replace(validJSON,
+		`"faults": [{"node": "node-002", "failAt": 3000, "restoreAt": 5000}]`,
+		`"faults": [], "chaos": {"crash": {"every": 0, "start": 1}}`, 1)
+	if _, err := LoadScenario(strings.NewReader(bad)); err == nil {
+		t.Error("invalid chaos schedule accepted")
+	}
+
+	// A typo'd family name is an unknown field, not a silent no-op.
+	typo := strings.Replace(validJSON,
+		`"faults": [{"node": "node-002", "failAt": 3000, "restoreAt": 5000}]`,
+		`"faults": [], "chaos": {"crsh": {"every": 4, "start": 2}}`, 1)
+	if _, err := LoadScenario(strings.NewReader(typo)); err == nil {
+		t.Error(`typo'd "crsh" family accepted silently`)
+	}
+}
+
 // TestControllerJSONRejectsMisappliedKeys: known keys that the selected
 // controller kind ignores are configuration errors (satellite of the
 // silent-misconfiguration guarantee — see TestLoadScenarioForecastBlock

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"io"
 
+	"slaplace/internal/chaos"
 	"slaplace/internal/cluster"
 	"slaplace/internal/control"
 	"slaplace/internal/core"
@@ -80,6 +81,14 @@ type Scenario struct {
 	Apps   []trans.Config
 	Faults []NodeFault
 
+	// Chaos, when set, interposes the seeded fault-injection engine
+	// between monitor and controller: snapshots are perturbed (crashes,
+	// detection lag, flapping, waves, stale replays), real failures land
+	// in the simulated cluster, and every plan is audited against the
+	// snapshot the controller saw with core.CheckPlan. A zero chaos seed
+	// falls back to the scenario seed.
+	Chaos *chaos.Config
+
 	// JobTrace, when non-empty, replays recorded jobs (in addition to
 	// any Jobs streams). TraceBase supplies the goal stretch and
 	// utility function for records without explicit goals; it defaults
@@ -137,6 +146,11 @@ func (s Scenario) Validate() error {
 			return fmt.Errorf("experiments: trace record %d: %w", i, err)
 		}
 	}
+	if s.Chaos != nil {
+		if err := s.Chaos.Validate(); err != nil {
+			return fmt.Errorf("experiments: chaos: %w", err)
+		}
+	}
 	return nil
 }
 
@@ -177,6 +191,13 @@ type Result struct {
 	// (full / incremental carry-over / replayed) when the controller
 	// threads the previous plan through cycles; zero otherwise.
 	PlanStats core.PlanStats
+
+	// Chaos-run outputs (zero when the scenario has no chaos block):
+	// injection counters, how many plans failed the invariant audit,
+	// and the first audit failure's message.
+	ChaosStats              chaos.Stats
+	InvariantViolations     int
+	FirstInvariantViolation string
 }
 
 // WriteJobOutcomes exports per-job results as CSV for offline analysis.
@@ -225,6 +246,23 @@ func Run(sc Scenario) (*Result, error) {
 	loop, errLoop := control.NewLoop(eng, cl, mgr, jobs, web, sess, rec, sc.Loop)
 	if errLoop != nil {
 		return nil, errLoop
+	}
+	var chaosBackend *chaos.Backend
+	if sc.Chaos != nil {
+		cfg := *sc.Chaos
+		if cfg.Seed == 0 {
+			cfg.Seed = sc.Seed
+		}
+		chEng, err := chaos.New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		chaosBackend = chaos.NewBackend(chEng, chaos.BackendOptions{
+			World:    chaos.World{Fail: loop.FailNode, Restore: loop.RestoreNode},
+			Recorder: rec,
+			Check:    core.CheckPlan,
+		})
+		loop.WrapBackend(chaosBackend.Wrap)
 	}
 
 	for _, cfg := range sc.Apps {
@@ -327,6 +365,11 @@ func Run(sc Scenario) (*Result, error) {
 		res.Submitted += replayer.Count()
 	}
 	res.PlanStats = sess.PlanStats()
+	if chaosBackend != nil {
+		res.ChaosStats = chaosBackend.Stats()
+		res.InvariantViolations = chaosBackend.Violations()
+		res.FirstInvariantViolation = chaosBackend.FirstViolation()
+	}
 	return res, nil
 }
 

@@ -455,5 +455,10 @@ func SummarizeResult(r *Result) string {
 		s += fmt.Sprintf(", plans %d full / %d incremental / %d replayed",
 			ps.Full, ps.Incremental, ps.Replayed)
 	}
+	if cs := r.ChaosStats; cs.Cycles > 0 {
+		s += fmt.Sprintf(", chaos %d crashes / %d flapped / %d departed / %d stale replays / %d invariant violations",
+			cs.Crashes, cs.FlapCycles, cs.Departed, cs.Duplicates+cs.Regressions,
+			r.InvariantViolations)
+	}
 	return s
 }

@@ -1,0 +1,114 @@
+package replica
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"strings"
+	"testing"
+
+	"slaplace/api"
+)
+
+// TestClientConnectionResetMidBody: a replica that answers 200 and then
+// drops the connection halfway through the body is a transport failure,
+// not a success — the client must mark it dead, forget its home memo,
+// and retry elsewhere exactly like a refused dial.
+func TestClientConnectionResetMidBody(t *testing.T) {
+	router := &markRouter{replicas: []string{"http://a:1", "http://b:1", "http://c:1"}}
+	reset := errors.New("read tcp: connection reset by peer")
+	c, rt, slept := newScriptedClient(router, []scriptStep{
+		{status: http.StatusOK, body: `{"schemaVersion":1,"clu`, bodyErr: reset},
+		{status: http.StatusOK, body: `{"ok":true}`},
+	})
+	// Seed a home memo so the reset provably clears it.
+	c.setHome("clu", "http://a:1")
+
+	res, err := c.Do(context.Background(), "clu", http.MethodPost, "/v1/plan", []byte("{}"), nil)
+	if err != nil {
+		t.Fatalf("Do: %v", err)
+	}
+	if res.Status != http.StatusOK || string(res.Body) != `{"ok":true}` {
+		t.Fatalf("unexpected final response: %d %q", res.Status, res.Body)
+	}
+	urls := rt.attempts()
+	if len(urls) != 2 {
+		t.Fatalf("want 2 attempts, got %d: %v", len(urls), urls)
+	}
+	if urls[1] == urls[0] {
+		t.Fatalf("retry reused the replica that reset mid-body: %v", urls)
+	}
+	if len(*slept) != 1 {
+		t.Fatalf("want 1 backoff before the retry, got %v", *slept)
+	}
+	// The half-answering replica counts as dead for routing purposes.
+	if len(router.dead) != 1 || !strings.HasPrefix(urls[0], router.dead[0]) {
+		t.Fatalf("MarkDead calls %v, want the first attempt's replica (%s)", router.dead, urls[0])
+	}
+	if home := c.home("clu"); home == "http://a:1" && urls[0] == "http://a:1/v1/plan" {
+		t.Fatal("home memo survived a mid-body reset")
+	}
+}
+
+// TestClientResetBudgetExhaustion: every attempt resetting mid-body
+// must exhaust the retry budget and surface the stream error, with the
+// last (broken) response still handed back for relaying.
+func TestClientResetBudgetExhaustion(t *testing.T) {
+	router := &markRouter{replicas: []string{"http://a:1", "http://b:1"}}
+	reset := errors.New("read tcp: connection reset by peer")
+	c, rt, _ := newScriptedClient(router, []scriptStep{
+		{status: http.StatusOK, body: `{"par`, bodyErr: reset},
+	})
+	c.MaxAttempts = 3
+	_, err := c.Do(context.Background(), "clu", http.MethodPost, "/v1/plan", []byte("{}"), nil)
+	if err == nil {
+		t.Fatal("want budget-exhausted error")
+	}
+	if !errors.Is(err, reset) {
+		t.Fatalf("error does not carry the stream failure: %v", err)
+	}
+	if got := len(rt.attempts()); got != 3 {
+		t.Fatalf("want 3 attempts, got %d", got)
+	}
+	if len(router.dead) != 3 {
+		t.Fatalf("want every reset reported dead, got %v", router.dead)
+	}
+}
+
+// TestClientPlanTruncatedJSON: a 200 whose body is valid transport but
+// truncated JSON is NOT retried — the response arrived; decoding it is
+// the caller's contract — and the decode error surfaces from Plan.
+func TestClientPlanTruncatedJSON(t *testing.T) {
+	router := &markRouter{replicas: []string{"http://a:1", "http://b:1"}}
+	c, rt, slept := newScriptedClient(router, []scriptStep{
+		{status: http.StatusOK, body: `{"schemaVersion":1,"clusterId":"clu","cycle":1,"plan":{"acti`},
+	})
+	resp, err := c.Plan(context.Background(), &api.PlanRequest{ClusterID: "clu"})
+	if err == nil {
+		t.Fatalf("want decode error, got response %+v", resp)
+	}
+	if got := len(rt.attempts()); got != 1 {
+		t.Fatalf("truncated JSON must not retry: %d attempts", got)
+	}
+	if len(*slept) != 0 {
+		t.Fatalf("unexpected backoff sleeps: %v", *slept)
+	}
+	if len(router.dead) != 0 {
+		t.Fatalf("a decode failure is not a dead replica: %v", router.dead)
+	}
+}
+
+// TestClientPlanErrorBody pins the non-2xx path of Plan: the daemon's
+// JSON error body becomes the returned error.
+func TestClientPlanErrorBody(t *testing.T) {
+	c, rt, _ := newScriptedClient(StaticRouter{"http://a:1"}, []scriptStep{
+		{status: http.StatusConflict, body: `{"schemaVersion":1,"error":"snapshot time went backwards"}`},
+	})
+	_, err := c.Plan(context.Background(), &api.PlanRequest{ClusterID: "clu"})
+	if err == nil || !strings.Contains(err.Error(), "snapshot time went backwards") {
+		t.Fatalf("want the daemon's error body surfaced, got %v", err)
+	}
+	if got := len(rt.attempts()); got != 1 {
+		t.Fatalf("409 must not retry: %d attempts", got)
+	}
+}

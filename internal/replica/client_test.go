@@ -14,9 +14,10 @@ import (
 
 // scriptStep is one scripted attempt outcome for the fake transport.
 type scriptStep struct {
-	err    error  // transport-level failure (refused, timeout, ...)
-	status int    // otherwise: respond with this status
-	body   string // and this body
+	err     error  // transport-level failure (refused, timeout, ...)
+	status  int    // otherwise: respond with this status
+	body    string // and this body
+	bodyErr error  // when set, the body reader fails after body's bytes
 }
 
 // scriptRT replays a fixed failure script, recording each attempt's
@@ -38,13 +39,24 @@ func (rt *scriptRT) RoundTrip(req *http.Request) (*http.Response, error) {
 	if step.err != nil {
 		return nil, step.err
 	}
+	var body io.Reader = strings.NewReader(step.body)
+	if step.bodyErr != nil {
+		// Serve the bytes, then fail the stream — a connection reset
+		// mid-body after a healthy status line.
+		body = io.MultiReader(body, errReader{step.bodyErr})
+	}
 	return &http.Response{
 		StatusCode: step.status,
 		Header:     http.Header{"Content-Type": []string{"application/json"}},
-		Body:       io.NopCloser(strings.NewReader(step.body)),
+		Body:       io.NopCloser(body),
 		Request:    req,
 	}, nil
 }
+
+// errReader fails immediately with its error.
+type errReader struct{ err error }
+
+func (r errReader) Read([]byte) (int, error) { return 0, r.err }
 
 func (rt *scriptRT) attempts() []string {
 	rt.mu.Lock()

@@ -1,0 +1,233 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"slaplace/api"
+	"slaplace/internal/chaos"
+	"slaplace/internal/control"
+	"slaplace/internal/core"
+)
+
+// chaosStep is one request of a cluster's perturbed feed: the wire
+// snapshot to POST, whether the server must reject it as a time
+// regression (409), and — when accepted — the exact plan bytes an
+// in-process session produces for it.
+type chaosStep struct {
+	wire       *api.Snapshot
+	wantReject bool
+	wantPlan   []byte
+}
+
+// chaosFeedConfig arms every pure-lie family: crashes with delayed
+// detection, one flapping node, and stale replays. No wave — the
+// captured baseline cluster is small and a wave would empty it.
+func chaosFeedConfig(seed uint64) chaos.Config {
+	return chaos.Config{
+		Seed:  seed,
+		Crash: &chaos.Crash{Every: 4, Start: 2, DetectionLag: 2},
+		Flap:  &chaos.Flap{Nodes: 1, Period: 2, Start: 3},
+		Stale: &chaos.Stale{DuplicateEvery: 3, RegressEvery: 5},
+	}
+}
+
+// buildChaosFeed perturbs the captured snapshot sequence through a
+// fresh seeded engine (pure-lie mode: no world behind the wire) and
+// computes, with an in-process reference session, the expected outcome
+// of every request. Every few steps it splices in a verbatim replay of
+// an older perturbed snapshot — the strict time regression the engine's
+// own stale family cannot produce on the wire (its regressions replay
+// the newest accepted clock).
+func buildChaosFeed(t *testing.T, base []*api.Snapshot, seed uint64) ([]chaosStep, chaos.Stats) {
+	t.Helper()
+	eng, err := chaos.New(chaosFeedConfig(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := control.NewSession(core.New(core.DefaultConfig()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var steps []chaosStep
+	lastNow := math.Inf(-1)
+	add := func(wire *api.Snapshot) {
+		s := chaosStep{wire: wire, wantReject: wire.Now < lastNow}
+		if !s.wantReject {
+			plan, _, err := sess.Propose(wire)
+			if err != nil {
+				t.Fatalf("reference session rejected step %d: %v", len(steps), err)
+			}
+			if s.wantPlan, err = json.Marshal(plan); err != nil {
+				t.Fatal(err)
+			}
+			lastNow = wire.Now
+		} else if _, _, err := sess.Propose(wire); !errors.Is(err, control.ErrTimeRegression) {
+			t.Fatalf("reference session accepted a regressed snapshot: %v", err)
+		}
+		steps = append(steps, s)
+	}
+	for i, snap := range base {
+		st, err := snap.CoreState()
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := eng.Step(st, chaos.World{})
+		wire, err := api.FromCoreState(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		add(wire)
+		// Every fourth step, replay the perturbed snapshot from three
+		// steps back — strictly older on the wire clock, so a 409.
+		if i >= 3 && i%4 == 3 {
+			add(steps[len(steps)-4].wire)
+		}
+	}
+	return steps, eng.Stats()
+}
+
+// TestServeChaosSoak extends the concurrent race-soak to inconsistent
+// and regressing snapshot feeds: per-cluster seeded chaos engines
+// strand jobs on hidden nodes, keep dead nodes lingering, flap nodes,
+// and replay stale reports, while explicit clock regressions are
+// spliced into every feed. The daemon must answer every request —
+// byte-identical plans for accepted snapshots, 409 for regressions —
+// with no cross-session bleed and exact per-session cycle accounting.
+// Run under -race (the CI chaos-soak job does).
+func TestServeChaosSoak(t *testing.T) {
+	base := captureSnapshots(t, func() core.Controller { return core.New(core.DefaultConfig()) })
+	if len(base) > 12 {
+		base = base[:12]
+	}
+
+	const clusters = 4
+	feeds := make([][]chaosStep, clusters)
+	rejections := 0
+	for c := 0; c < clusters; c++ {
+		steps, stats := buildChaosFeed(t, base, 1000+uint64(c))
+		feeds[c] = steps
+		if stats.Crashes == 0 || stats.FlapCycles == 0 || stats.Duplicates == 0 {
+			t.Fatalf("cluster %d feed injected too little chaos: %+v", c, stats)
+		}
+		for _, s := range steps {
+			if s.wantReject {
+				rejections++
+			}
+		}
+	}
+	if rejections == 0 {
+		t.Fatal("no feed contains a strict time regression")
+	}
+
+	srv := New(Options{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// One feeder per cluster (in-order within a cluster, concurrent
+	// across clusters) plus a stats poller hammering the shared maps.
+	var wg sync.WaitGroup
+	for c := 0; c < clusters; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i, step := range feeds[c] {
+				var buf bytes.Buffer
+				err := api.EncodePlanRequest(&buf, &api.PlanRequest{
+					ClusterID: fmt.Sprintf("chaos-%d", c),
+					Snapshot:  step.wire,
+				})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				resp, err := http.Post(ts.URL+"/v1/plan", "application/json", &buf)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				body, err := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if step.wantReject {
+					if resp.StatusCode != http.StatusConflict {
+						t.Errorf("cluster %d step %d: regressed snapshot got %d, want 409: %s",
+							c, i, resp.StatusCode, body)
+					}
+					continue
+				}
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("cluster %d step %d: %d: %s", c, i, resp.StatusCode, body)
+					return
+				}
+				var raw struct {
+					Plan json.RawMessage `json:"plan"`
+				}
+				if err := json.Unmarshal(body, &raw); err != nil {
+					t.Error(err)
+					return
+				}
+				if !bytes.Equal(raw.Plan, step.wantPlan) {
+					t.Errorf("cluster %d step %d: plan differs from in-process reference (cross-session bleed?)", c, i)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 3*len(feeds[0]); i++ {
+			resp, err := http.Get(ts.URL + "/v1/stats")
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	}()
+	wg.Wait()
+
+	// Rejected snapshots must not count as planned cycles, and every
+	// accepted one must count exactly once.
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats api.StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if len(stats.Sessions) != clusters {
+		t.Fatalf("%d sessions, want %d", len(stats.Sessions), clusters)
+	}
+	for _, ss := range stats.Sessions {
+		var c int
+		if _, err := fmt.Sscanf(ss.ClusterID, "chaos-%d", &c); err != nil {
+			t.Errorf("unexpected session %q", ss.ClusterID)
+			continue
+		}
+		accepted := 0
+		for _, s := range feeds[c] {
+			if !s.wantReject {
+				accepted++
+			}
+		}
+		if ss.Cycles != accepted {
+			t.Errorf("cluster %s planned %d cycles, want %d accepted", ss.ClusterID, ss.Cycles, accepted)
+		}
+	}
+}

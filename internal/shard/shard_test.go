@@ -416,7 +416,8 @@ func partitionDigest(p *partition) string {
 // TestMergeOrdersFreesFirst: the merged action list places every
 // resource-freeing action (reconcile removals, suspends, instance
 // removals) before any placement or share change, regardless of which
-// shard emitted it.
+// shard emitted it. The ordering contract itself is core.FreeingFirst,
+// shared with the chaos replay harness.
 func TestMergeOrdersFreesFirst(t *testing.T) {
 	rng := rand.New(rand.NewSource(17))
 	seen := false
@@ -425,16 +426,13 @@ func TestMergeOrdersFreesFirst(t *testing.T) {
 		k := 2 + rng.Intn(3)
 		ctrl := New(Config{Shards: k})
 		plan := ctrl.Plan(st)
-		placing := false
+		if err := core.FreeingFirst(plan.Actions); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
 		for _, a := range plan.Actions {
 			switch a.(type) {
 			case core.SuspendJob, core.RemoveInstance:
-				if placing {
-					t.Fatalf("trial %d: freeing action %v after a placement", trial, a)
-				}
 				seen = true
-			default:
-				placing = true
 			}
 		}
 	}

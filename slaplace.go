@@ -51,6 +51,7 @@ import (
 	"io"
 
 	"slaplace/internal/baseline"
+	"slaplace/internal/chaos"
 	"slaplace/internal/control"
 	"slaplace/internal/core"
 	"slaplace/internal/experiments"
@@ -364,6 +365,41 @@ var (
 	FlashCrowdScenario = experiments.FlashCrowdScenario
 	// QuickScenario is a fast smoke configuration.
 	QuickScenario = experiments.QuickScenario
+)
+
+// Chaos / fault injection (see internal/chaos): a seeded engine that
+// perturbs the snapshot stream between monitor and controller.
+type (
+	// ChaosConfig arms fault families on a scenario (Scenario.Chaos) or
+	// a config file's "chaos" block. A zero Seed inherits the scenario
+	// seed.
+	ChaosConfig = chaos.Config
+	// ChaosCrash schedules periodic node crashes with optional delayed
+	// detection (the dead node stays in snapshots for DetectionLag
+	// cycles) and restoration.
+	ChaosCrash = chaos.Crash
+	// ChaosFlap blinks a fixed node set in and out of snapshots.
+	ChaosFlap = chaos.Flap
+	// ChaosWave is a mass departure and optional mass return.
+	ChaosWave = chaos.Wave
+	// ChaosStale re-delivers old snapshots: duplicated (re-stamped) and
+	// regressed (verbatim stale replay).
+	ChaosStale = chaos.Stale
+	// ChaosStats counts the faults a run actually injected
+	// (Result.ChaosStats).
+	ChaosStats = chaos.Stats
+)
+
+// Chaos scenario family.
+var (
+	// ChaosFamilies lists the fault family names ChaosScenario accepts:
+	// crash, lag, flap, wave, stale, all.
+	ChaosFamilies = experiments.ChaosFamilies
+	// ChaosFamilyConfig returns a named family's canned fault schedule.
+	ChaosFamilyConfig = experiments.ChaosFamilyConfig
+	// ChaosScenario builds the chaos benchmark for one fault family:
+	// a mixed workload on an 8-node cluster with the family armed.
+	ChaosScenario = experiments.ChaosScenario
 )
 
 // SLAViolations counts control samples where a transactional
